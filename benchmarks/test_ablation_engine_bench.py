@@ -1,0 +1,50 @@
+"""Ablation bench: stream-engine throughput and delay-mode cost.
+
+Measures raw simulator speed (patterns/second through the 16x16
+column-bypassing multiplier) and compares the two delay semantics --
+the floating-mode bound must never fall below the inertial estimate.
+"""
+
+import numpy as np
+
+from repro.timing import CompiledCircuit
+from repro.workloads import uniform_operands
+
+PATTERNS = 2000
+
+
+def test_engine_throughput_inertial(benchmark, ctx):
+    circuit = ctx.factory(16, "column").circuit(0.0)
+    md, mr = uniform_operands(16, PATTERNS, seed=1)
+    result = benchmark.pedantic(
+        circuit.run, args=({"md": md, "mr": mr},), rounds=2, iterations=1
+    )
+    assert result.num_patterns == PATTERNS
+
+
+def test_engine_throughput_floating(benchmark, ctx):
+    netlist = ctx.netlist(16, "column")
+    circuit = CompiledCircuit(netlist, ctx.technology, mode="floating")
+    md, mr = uniform_operands(16, PATTERNS, seed=1)
+    floating = benchmark.pedantic(
+        circuit.run, args=({"md": md, "mr": mr},), rounds=2, iterations=1
+    )
+    inertial = ctx.factory(16, "column").circuit(0.0).run(
+        {"md": md, "mr": mr}
+    )
+    assert np.all(inertial.delays <= floating.delays + 1e-9)
+
+
+def test_engine_chunked_memory_mode(benchmark, ctx):
+    """Chunked processing returns identical results (bounded memory)."""
+    circuit = ctx.factory(16, "column").circuit(0.0)
+    md, mr = uniform_operands(16, PATTERNS, seed=2)
+    whole = circuit.run({"md": md, "mr": mr})
+    chunked = benchmark.pedantic(
+        circuit.run,
+        args=({"md": md, "mr": mr},),
+        kwargs={"chunk_size": 256},
+        rounds=1,
+        iterations=1,
+    )
+    assert np.allclose(chunked.delays, whole.delays)

@@ -1,0 +1,60 @@
+"""Ablation bench: aging-indicator threshold and stickiness.
+
+DESIGN.md calls out the 10%-per-100-ops threshold as a paper-given
+constant; this ablation sweeps it.  A lower threshold switches to the
+strict judging block sooner (fewer errors, more two-cycle patterns); a
+very high threshold reduces the adaptive design to the traditional one.
+"""
+
+from conftest import run_once
+
+from repro.config import SimulationConfig
+from repro.core import AgingAwareMultiplier
+from repro.workloads import uniform_operands
+
+PATTERNS = 1500
+
+
+def _run_with_threshold(ctx, threshold, sticky=True):
+    config = SimulationConfig(
+        indicator_threshold=threshold, indicator_sticky=sticky
+    )
+    arch = AgingAwareMultiplier(
+        netlist=ctx.netlist(16, "column"),
+        kind="column",
+        width=16,
+        skip=7,
+        cycle_ns=0.65,
+        factory=ctx.factory(16, "column"),
+        technology=ctx.technology,
+        config=config,
+    )
+    md, mr = uniform_operands(16, PATTERNS, seed=5)
+    stream = ctx.stream_result(16, "column", 7.0, PATTERNS, seed=99)
+    md, mr = ctx.stream(16, PATTERNS, seed=99)
+    return arch.run_patterns(md, mr, years=7.0, stream=stream).report
+
+
+def test_indicator_threshold_sweep(benchmark, ctx):
+    def sweep():
+        return {
+            threshold: _run_with_threshold(ctx, threshold)
+            for threshold in (2, 10, 50)
+        }
+
+    reports = run_once(benchmark, sweep)
+    # A stricter (lower) threshold switches earlier and ends with fewer
+    # Razor errors on aged silicon.
+    assert reports[2].error_count <= reports[50].error_count
+    for threshold, report in sorted(reports.items()):
+        print(
+            "threshold %2d: errors=%4d latency=%.3f"
+            % (threshold, report.error_count, report.average_latency_ns)
+        )
+
+
+def test_indicator_stickiness(benchmark, ctx):
+    sticky = run_once(benchmark, _run_with_threshold, ctx, 10, True)
+    relaxing = _run_with_threshold(ctx, 10, sticky=False)
+    # A relaxing indicator may switch back and accumulate extra errors.
+    assert relaxing.error_count >= sticky.error_count

@@ -1,0 +1,45 @@
+"""Ablation bench: Razor re-execution penalty.
+
+The paper charges 3 extra cycles per violation (1 detection + 2
+re-execution).  This ablation sweeps the penalty: with a cheaper
+recovery, aggressive (small-skip, short-cycle) operating points become
+more attractive -- quantifying how sensitive the headline improvements
+are to the recovery microarchitecture.
+"""
+
+from conftest import run_once
+
+from repro.config import SimulationConfig
+from repro.core import AgingAwareMultiplier
+
+PATTERNS = 1500
+
+
+def test_penalty_sweep(benchmark, ctx):
+    def sweep():
+        reports = {}
+        md, mr = ctx.stream(16, PATTERNS, seed=42)
+        stream = ctx.stream_result(16, "column", 0.0, PATTERNS, seed=42)
+        for penalty in (1, 3, 6):
+            arch = AgingAwareMultiplier(
+                netlist=ctx.netlist(16, "column"),
+                kind="column",
+                width=16,
+                skip=7,
+                cycle_ns=0.6,
+                factory=ctx.factory(16, "column"),
+                technology=ctx.technology,
+                config=SimulationConfig(razor_penalty_cycles=penalty),
+            )
+            reports[penalty] = arch.run_patterns(md, mr, stream=stream).report
+        return reports
+
+    reports = run_once(benchmark, sweep)
+    # Latency grows monotonically with the recovery penalty.
+    latencies = [reports[p].average_latency_ns for p in (1, 3, 6)]
+    assert latencies[0] < latencies[1] < latencies[2]
+    for penalty, report in sorted(reports.items()):
+        print(
+            "penalty=%d: latency=%.3f errors=%d"
+            % (penalty, report.average_latency_ns, report.error_count)
+        )

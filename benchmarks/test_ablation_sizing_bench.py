@@ -1,0 +1,62 @@
+"""Ablation bench: gate sizing vs the aging guard-band (Section IV-A).
+
+Compares three ways to survive 7-year BTI on the fixed-latency CB host:
+
+* guard-band: clock at the aged critical path (the paper's baseline),
+* uniform overdesign: upsize *everything* 1.5x (the area-hungry
+  traditional fix the introduction criticizes),
+* targeted sizing: upsize only near-critical cells.
+
+And shows the adaptive architecture beats all three without any sizing.
+"""
+
+from conftest import run_once
+
+from repro.nets.sizing import uniform_sizing, upsize_critical_paths
+from repro.timing import StaticTiming
+
+
+def test_sizing_vs_adaptive(benchmark, ctx):
+    netlist = ctx.netlist(16, "column")
+    factory = ctx.factory(16, "column")
+
+    def evaluate():
+        aged_scale = factory.delay_scale(7.0)
+        guard_band = StaticTiming(
+            netlist, ctx.technology, aged_scale
+        ).critical_delay
+
+        uniform = uniform_sizing(netlist, 1.5)
+        uniform_aged = StaticTiming(
+            netlist, ctx.technology,
+            aged_scale * uniform.delay_scale(),
+        ).critical_delay
+
+        targeted = upsize_critical_paths(netlist, factor=1.5,
+                                         slack_fraction=0.93)
+        targeted_aged = StaticTiming(
+            netlist, ctx.technology,
+            aged_scale * targeted.delay_scale(),
+        ).critical_delay
+
+        arch = ctx.variable_design(16, "column", 7, 0.9)
+        adaptive = arch.run_random(2000, seed=3, years=7.0)
+        return {
+            "guard_band_ns": guard_band,
+            "uniform_ns": uniform_aged,
+            "uniform_extra_t": uniform.extra_transistors(netlist),
+            "targeted_ns": targeted_aged,
+            "targeted_extra_t": targeted.extra_transistors(netlist),
+            "adaptive_ns": adaptive.report.average_latency_ns,
+        }
+
+    result = run_once(benchmark, evaluate)
+    # Sizing compresses the aged cycle; targeted costs less area.
+    assert result["uniform_ns"] < result["guard_band_ns"]
+    assert result["targeted_ns"] < result["guard_band_ns"]
+    assert result["targeted_extra_t"] < result["uniform_extra_t"]
+    # The adaptive architecture beats every sized fixed design with
+    # zero sizing area.
+    assert result["adaptive_ns"] < result["targeted_ns"]
+    for key, value in result.items():
+        print("%s: %s" % (key, value))

@@ -1,0 +1,57 @@
+"""Ablation bench: operand bias.
+
+The paper evaluates uniform operands; this ablation sweeps the bit-level
+one-probability.  Sparse operands (many zeros) make almost everything a
+one-cycle pattern; dense operands defeat the bypass and push the design
+toward two-cycle operation.
+"""
+
+from conftest import run_once
+
+from repro.arith import golden_products
+from repro.workloads import zero_weighted_operands
+
+PATTERNS = 1200
+
+
+def test_operand_bias_sweep(benchmark, ctx):
+    arch = ctx.variable_design(16, "column", 7, 0.9)
+
+    def sweep():
+        reports = {}
+        for p_one in (0.2, 0.5, 0.8):
+            md = zero_weighted_operands(16, PATTERNS, p_one, seed=7)
+            mr = zero_weighted_operands(16, PATTERNS, p_one, seed=8)
+            reports[p_one] = arch.run_patterns(md, mr).report
+        return reports
+
+    reports = run_once(benchmark, sweep)
+    # Sparse multiplicands: more one-cycle patterns, lower latency.
+    assert (
+        reports[0.2].one_cycle_ratio
+        > reports[0.5].one_cycle_ratio
+        > reports[0.8].one_cycle_ratio
+    )
+    assert (
+        reports[0.2].average_latency_ns < reports[0.8].average_latency_ns
+    )
+    for p_one, report in sorted(reports.items()):
+        print(
+            "P(bit=1)=%.1f: one-cycle=%.3f latency=%.3f errors=%d"
+            % (
+                p_one,
+                report.one_cycle_ratio,
+                report.average_latency_ns,
+                report.error_count,
+            )
+        )
+
+
+def test_biased_operands_still_multiply_exactly(benchmark, ctx):
+    circuit = ctx.factory(16, "row").circuit(0.0)
+    md = zero_weighted_operands(16, PATTERNS, 0.9, seed=9)
+    mr = zero_weighted_operands(16, PATTERNS, 0.1, seed=10)
+    result = run_once(benchmark, circuit.run, {"md": md, "mr": mr})
+    import numpy as np
+
+    assert np.array_equal(result.outputs["p"], golden_products(md, mr, 16))

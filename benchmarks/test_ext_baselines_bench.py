@@ -1,0 +1,20 @@
+"""Extension bench: Wallace/Booth baselines vs the bypassing hosts.
+
+Regenerates the ``ext_baselines`` comparison and asserts the
+architectural claim: the bypassing multipliers' delay is predictable
+from the judged operand's zero count; the tree baselines' is not.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ext_baselines
+
+
+def test_ext_baselines(benchmark, ctx):
+    result = run_once(benchmark, ext_baselines.run, ctx, num_patterns=1500)
+    stats = result.stats
+    assert stats["column"].zero_delay_correlation < -0.2
+    assert stats["booth"].zero_delay_correlation > -0.2
+    assert stats["wallace"].critical_ns < stats["am"].critical_ns
+    print()
+    print(result.render())

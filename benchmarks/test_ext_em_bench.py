@@ -1,0 +1,20 @@
+"""Extension bench: BTI + electromigration lifetime (Section V claim)."""
+
+from conftest import run_once
+
+from repro.experiments import ext_em
+
+
+def test_ext_em(benchmark, ctx):
+    result = run_once(
+        benchmark, ext_em.run, ctx, num_patterns=800,
+        years=(0.0, 5.0, 10.0),
+    )
+    # EM compounds the fixed designs' degradation; the adaptive designs
+    # stay an order of magnitude flatter.
+    assert result.growth("combined", "flcb") > result.growth("bti", "flcb")
+    assert result.growth("combined", "a-vlcb") < (
+        result.growth("combined", "flcb") / 3
+    )
+    print()
+    print(result.render())

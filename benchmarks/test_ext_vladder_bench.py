@@ -1,0 +1,16 @@
+"""Extension bench: the VL-Adder lineage with adaptive hold logic."""
+
+from conftest import run_once
+
+from repro.experiments import ext_vladder
+
+
+def test_ext_vladder(benchmark, ctx):
+    result = run_once(benchmark, ext_vladder.run, ctx, num_patterns=2000)
+    # Fixed adder tracks the critical-path drift; the VL adder is flat.
+    assert result.growth("fixed") > 0.10
+    assert result.growth("a-vl") < 0.03
+    # Adaptation never increases the tight-clock error count.
+    assert result.adaptive_never_worse()
+    print()
+    print(result.render())

@@ -1,0 +1,16 @@
+"""Extension bench: application-shaped workloads (FIR / DCT / image)."""
+
+from conftest import run_once
+
+from repro.experiments import ext_workloads
+
+
+def test_ext_workloads(benchmark, ctx):
+    result = run_once(benchmark, ext_workloads.run, ctx, num_patterns=1500)
+    assert all(row.products_exact for row in result.rows.values())
+    assert (
+        result.rows["fir"].one_cycle_potential
+        > result.rows["uniform"].one_cycle_potential
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,15 @@
+"""Fig. 5 bench: 16x16 path-delay distributions (AM / CB / RB)."""
+
+from conftest import run_once
+
+from repro.experiments import fig05_delay_distribution
+
+
+def test_fig05_delay_distribution(benchmark, ctx):
+    result = run_once(benchmark, fig05_delay_distribution.run, ctx)
+    # Paper: max delays 1.32 / 1.88 / 1.82 ns; bulk of paths far below.
+    assert abs(result.critical_ns["am"] - 1.32) < 0.01
+    assert result.critical_ns["column"] > result.critical_ns["am"]
+    assert result.fraction_below["am"] > 0.9
+    print()
+    print(result.render())

@@ -1,0 +1,13 @@
+"""Fig. 6 bench: CB delay distribution vs multiplicand zero count."""
+
+from conftest import run_once
+
+from repro.experiments import fig06_zeros_vs_delay
+
+
+def test_fig06_zeros_vs_delay(benchmark, ctx):
+    result = run_once(benchmark, fig06_zeros_vs_delay.run, ctx)
+    # Paper: more zeros => left-shifted distribution, lower mean.
+    assert result.monotone_decreasing
+    print()
+    print(result.render())

@@ -1,0 +1,14 @@
+"""Fig. 7 bench: seven-year BTI critical-path trend (16x16 CB / RB)."""
+
+from conftest import run_once
+
+from repro.experiments import fig07_aging_trend
+
+
+def test_fig07_aging_trend(benchmark, ctx):
+    result = run_once(benchmark, fig07_aging_trend.run, ctx)
+    # Paper: ~13% critical-path increase over 7 years.
+    assert abs(result.drift_at_7y["column"] - 0.13) < 0.02
+    assert abs(result.drift_at_7y["row"] - 0.13) < 0.02
+    print()
+    print(result.render())

@@ -1,0 +1,14 @@
+"""Figs. 9-10 bench: zero/one-count distributions of random operands."""
+
+from conftest import run_once
+
+from repro.experiments import fig09_10_zero_distribution
+
+
+def test_fig09_10_zero_distribution(benchmark, ctx):
+    result = run_once(benchmark, fig09_10_zero_distribution.run, ctx)
+    # Paper: near-normal (binomial) bells for both operands.
+    assert result.max_pmf_error("md") < 0.05
+    assert result.max_pmf_error("mr") < 0.05
+    print()
+    print(result.render())

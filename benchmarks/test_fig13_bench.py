@@ -1,0 +1,16 @@
+"""Fig. 13 bench: 16x16 latency vs cycle period, all skips and kinds."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_14_latency_sweep
+
+
+def test_fig13_latency_sweep_16(benchmark, ctx):
+    result = run_once(benchmark, fig13_14_latency_sweep.run_fig13, ctx)
+    # Paper headline: A-VLCB up to ~37% faster than the FLCB and ~11%
+    # faster than the AM at its preferred cycle period.
+    assert result.improvement_vs("column", 7, "flcb") > 0.25
+    assert result.improvement_vs("column", 7, "am") > 0.0
+    assert result.improvement_vs("row", 7, "flrb") > 0.25
+    print()
+    print(result.render())

@@ -1,0 +1,17 @@
+"""Fig. 14 bench: 32x32 latency vs cycle period, all skips and kinds."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_14_latency_sweep
+
+
+def test_fig14_latency_sweep_32(benchmark, ctx):
+    result = run_once(
+        benchmark, fig13_14_latency_sweep.run_fig14, ctx, num_patterns=600
+    )
+    # Paper: larger multipliers gain even more from variable latency
+    # (A-VLCB up to ~47% over the FLCB at 32x32).
+    assert result.improvement_vs("column", 15, "flcb") > 0.3
+    assert result.improvement_vs("column", 15, "am") > 0.0
+    print()
+    print(result.render())

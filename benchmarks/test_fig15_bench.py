@@ -1,0 +1,18 @@
+"""Fig. 15 bench: 16x16 latency under three skip numbers (column)."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_18_skip_comparison
+
+
+def test_fig15_skip_latency_16(benchmark, ctx):
+    result = run_once(
+        benchmark,
+        fig15_18_skip_comparison.run_fig15,
+        ctx,
+        num_patterns=1500,
+    )
+    # Paper: Skip-7 best at long cycles, worst at short cycles.
+    assert result.crossover_ok()
+    print()
+    print(result.render())

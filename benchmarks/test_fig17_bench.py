@@ -1,0 +1,17 @@
+"""Fig. 17 bench: 32x32 latency under three skip numbers (column)."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_18_skip_comparison
+
+
+def test_fig17_skip_latency_32(benchmark, ctx):
+    result = run_once(
+        benchmark,
+        fig15_18_skip_comparison.run_fig17,
+        ctx,
+        num_patterns=500,
+    )
+    assert result.crossover_ok()
+    print()
+    print(result.render())

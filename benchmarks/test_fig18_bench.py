@@ -1,0 +1,18 @@
+"""Fig. 18 bench: 32x32 error counts per skip over the cycle sweep."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_18_skip_comparison
+
+
+def test_fig18_error_counts_32(benchmark, ctx):
+    result = run_once(
+        benchmark,
+        fig15_18_skip_comparison.run_fig18,
+        ctx,
+        num_patterns=500,
+        adaptive=False,
+    )
+    assert result.errors_monotone()
+    print()
+    print(result.render())

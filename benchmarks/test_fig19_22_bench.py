@@ -1,0 +1,43 @@
+"""Figs. 19-22 bench: traditional vs adaptive error counts, aged.
+
+Fig. 19: 16x16 column.  Fig. 20: 32x32 column.
+Fig. 21: 16x16 row.     Fig. 22: 32x32 row.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig19_22_adaptive_errors
+
+
+def test_fig19_errors_16_column(benchmark, ctx):
+    result = run_once(
+        benchmark, fig19_22_adaptive_errors.run_fig19, ctx,
+        num_patterns=1500,
+    )
+    assert result.adaptive_never_worse(slack=2)
+    print()
+    print(result.render())
+
+
+def test_fig20_errors_32_column(benchmark, ctx):
+    result = run_once(
+        benchmark, fig19_22_adaptive_errors.run_fig20, ctx,
+        num_patterns=500,
+    )
+    assert result.adaptive_never_worse(slack=2)
+
+
+def test_fig21_errors_16_row(benchmark, ctx):
+    result = run_once(
+        benchmark, fig19_22_adaptive_errors.run_fig21, ctx,
+        num_patterns=1500,
+    )
+    assert result.adaptive_never_worse(slack=2)
+
+
+def test_fig22_errors_32_row(benchmark, ctx):
+    result = run_once(
+        benchmark, fig19_22_adaptive_errors.run_fig22, ctx,
+        num_patterns=500,
+    )
+    assert result.adaptive_never_worse(slack=2)

@@ -1,0 +1,19 @@
+"""Fig. 23 bench: 16x16 adaptive vs traditional latency, aged."""
+
+from conftest import run_once
+
+from repro.experiments import fig23_24_adaptive_latency
+
+
+def test_fig23_adaptive_latency_16(benchmark, ctx):
+    result = run_once(
+        benchmark,
+        fig23_24_adaptive_latency.run_fig23,
+        ctx,
+        num_patterns=1500,
+    )
+    # Paper: the AHL's gain is largest at short cycle periods.
+    for kind in ("column", "row"):
+        assert result.gap_at_shortest(kind, 7) >= 0.0
+    print()
+    print(result.render())

@@ -1,0 +1,21 @@
+"""Fig. 24 bench: 32x32 adaptive vs traditional latency, aged."""
+
+from conftest import run_once
+
+from repro.experiments import fig23_24_adaptive_latency
+
+
+def test_fig24_adaptive_latency_32(benchmark, ctx):
+    result = run_once(
+        benchmark,
+        fig23_24_adaptive_latency.run_fig24,
+        ctx,
+        num_patterns=400,
+        skips=(15,),
+    )
+    # Paper: adaptive is equal or better; allow sampling noise of a few
+    # hundredths of a ns at this reduced pattern count.
+    for kind in ("column", "row"):
+        assert result.gap_at_shortest(kind, 15) >= -0.05
+    print()
+    print(result.render())

@@ -1,0 +1,19 @@
+"""Fig. 25 bench: transistor-count area comparison."""
+
+from conftest import run_once
+
+from repro.experiments import fig25_area
+
+
+def test_fig25_area(benchmark, ctx):
+    result = run_once(benchmark, fig25_area.run, ctx)
+    # Adaptive designs cost extra area, but relatively less at 32x32.
+    assert result.adaptive_overhead(16, "column") > 0
+    assert result.adaptive_overhead(32, "column") < (
+        result.adaptive_overhead(16, "column")
+    )
+    assert result.adaptive_overhead(32, "row") < (
+        result.adaptive_overhead(16, "row")
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,23 @@
+"""Fig. 26 bench: 16x16 lifetime latency / power / EDP."""
+
+from conftest import run_once
+
+from repro.experiments import fig26_27_lifetime
+
+
+def test_fig26_lifetime_16(benchmark, ctx):
+    result = run_once(
+        benchmark,
+        fig26_27_lifetime.run_fig26,
+        ctx,
+        num_patterns=2500,
+        years=(0.0, 1.0, 2.0, 4.0, 7.0),
+    )
+    # Fixed designs degrade ~13-15%; adaptive designs stay nearly flat.
+    assert result.latency_growth("flcb") > 0.10
+    assert result.latency_growth("a-vlcb") < 0.05
+    # AM burns the most power; power falls with age for every design.
+    assert result.power_w["am"].y[0] > result.power_w["flcb"].y[0]
+    assert result.power_w["am"].y[-1] < result.power_w["am"].y[0]
+    print()
+    print(result.render())

@@ -1,0 +1,21 @@
+"""Fig. 27 bench: 32x32 lifetime latency / power / EDP."""
+
+from conftest import run_once
+
+from repro.experiments import fig26_27_lifetime
+
+
+def test_fig27_lifetime_32(benchmark, ctx):
+    result = run_once(
+        benchmark,
+        fig26_27_lifetime.run_fig27,
+        ctx,
+        num_patterns=800,
+        years=(0.0, 2.0, 7.0),
+    )
+    assert result.latency_growth("flcb") > 0.10
+    assert result.latency_growth("a-vlcb") < 0.05
+    # Paper: the 32x32 A-VLCB ends with the best average EDP vs the AM.
+    assert result.mean_edp_reduction_vs_am("a-vlcb") > 0.0
+    print()
+    print(result.render())

@@ -1,0 +1,29 @@
+"""Bench: gate-level structural validation of the architecture.
+
+Times the structural (netlist-AHL, per-bit Razor) closed-loop run and
+asserts cycle-for-cycle equivalence with the behavioral model -- the
+reproduction's end-to-end consistency proof at benchmark scale.
+"""
+
+from conftest import run_once
+
+from repro.core.structural import validate_against_behavioral
+
+
+def test_structural_equivalence_16(benchmark, ctx):
+    arch = ctx.variable_design(16, "column", 7, 0.8)
+    md, mr = ctx.stream(16, 1000)
+
+    validation = run_once(
+        benchmark, validate_against_behavioral, arch, md, mr, 7.0
+    )
+    assert validation.ok, validation.mismatched_ops[:10]
+
+
+def test_structural_equivalence_row(benchmark, ctx):
+    arch = ctx.variable_design(16, "row", 7, 0.7)
+    md, mr = ctx.stream(16, 1000)
+    validation = run_once(
+        benchmark, validate_against_behavioral, arch, md, mr, 0.0
+    )
+    assert validation.ok

@@ -1,0 +1,16 @@
+"""Table I bench: 16x16 one-cycle pattern ratios (Skip-7/8/9)."""
+
+from conftest import run_once
+
+from repro.experiments import tables_one_cycle_ratio
+
+
+def test_table1_one_cycle_ratio(benchmark, ctx):
+    result = run_once(benchmark, tables_one_cycle_ratio.run_table1, ctx)
+    # Ratios decrease with the skip number (Table I's trend) and track
+    # the binomial tail.
+    ratios = [result.ratios[("column", s)] for s in (7, 8, 9)]
+    assert ratios[0] > ratios[1] > ratios[2]
+    assert abs(ratios[0] - 0.7728) < 0.03
+    print()
+    print(result.render())

@@ -1,0 +1,13 @@
+"""Table II bench: 32x32 one-cycle pattern ratios (Skip-15/16/17)."""
+
+from conftest import run_once
+
+from repro.experiments import tables_one_cycle_ratio
+
+
+def test_table2_one_cycle_ratio(benchmark, ctx):
+    result = run_once(benchmark, tables_one_cycle_ratio.run_table2, ctx)
+    ratios = [result.ratios[("row", s)] for s in (15, 16, 17)]
+    assert ratios[0] > ratios[1] > ratios[2]
+    print()
+    print(result.render())

@@ -1,0 +1,78 @@
+"""Adaptive hold logic in action (paper Figs. 19 and 23).
+
+Runs the same aged (7-year) 16x16 column-bypassing multiplier with and
+without the AHL's adaptivity across a range of clock periods, showing:
+
+* the aging indicator tripping after the first high-error window,
+* the switch to the Skip-8 judging block cutting the Razor error count,
+* the latency gap opening at short cycle periods.
+
+Run:  python examples/adaptive_vs_traditional.py
+"""
+
+import dataclasses
+
+from repro import AgingAwareMultiplier
+from repro.analysis import format_table
+from repro.workloads import uniform_operands
+
+YEARS = 7.0
+CYCLES = (0.60, 0.70, 0.80, 0.90)
+
+
+def main():
+    print("Building the 16x16 A-VLCB and aging it %.0f years..." % YEARS)
+    adaptive = AgingAwareMultiplier.build(16, "column", skip=7, cycle_ns=0.9)
+    traditional = dataclasses.replace(adaptive, adaptive=False, name="")
+    md, mr = uniform_operands(16, 10_000, seed=3)
+
+    # One circuit simulation serves every clock period.
+    stream = adaptive.factory.circuit(YEARS).run({"md": md, "mr": mr})
+
+    rows = []
+    for cycle in CYCLES:
+        rep_a = adaptive.with_cycle(cycle).run_patterns(
+            md, mr, years=YEARS, stream=stream
+        ).report
+        rep_t = traditional.with_cycle(cycle).run_patterns(
+            md, mr, years=YEARS, stream=stream
+        ).report
+        switch = (
+            "op %d" % rep_a.indicator_aged_at
+            if rep_a.indicator_aged_at >= 0
+            else "never"
+        )
+        rows.append(
+            [
+                cycle,
+                rep_t.error_count,
+                rep_a.error_count,
+                rep_t.average_latency_ns,
+                rep_a.average_latency_ns,
+                switch,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "cycle ns",
+                "T-VL errors",
+                "A-VL errors",
+                "T-VL latency",
+                "A-VL latency",
+                "AHL switch",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        "The adaptive design always sees fewer Razor violations; its"
+        " latency advantage is largest at the shortest cycle periods"
+        " (paper Section IV-C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

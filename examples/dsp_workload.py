@@ -1,0 +1,90 @@
+"""Application workloads: FIR filtering on the aging-aware multiplier.
+
+The paper's introduction motivates the design with Fourier transforms,
+DCTs and digital filtering.  This example feeds the architecture the
+operand streams a direct-form FIR filter actually produces (fixed
+zero-rich coefficient taps against streaming samples) and compares
+against uniform random operands: structured DSP streams are *more*
+bypass-friendly, so the variable-latency win grows.
+
+Run:  python examples/dsp_workload.py
+"""
+
+from repro import AgingAwareMultiplier
+from repro.analysis import format_table
+from repro.arith import count_zeros
+from repro.core.baselines import FixedLatencyDesign
+from repro.workloads import (
+    dct_stream,
+    fir_filter_stream,
+    image_gradient_stream,
+    uniform_operands,
+)
+
+WIDTH = 16
+PATTERNS = 10_000
+
+
+def main():
+    arch = AgingAwareMultiplier.build(WIDTH, "column", skip=7, cycle_ns=0.9)
+    fixed = FixedLatencyDesign.build(WIDTH, "column")
+    fixed_latency = fixed.latency_ns()
+
+    workloads = {
+        "uniform random": uniform_operands(WIDTH, PATTERNS, seed=7),
+        "FIR filtering": fir_filter_stream(WIDTH, PATTERNS, seed=7),
+        "8-point DCT": dct_stream(WIDTH, PATTERNS, seed=7),
+        "image gradients": image_gradient_stream(WIDTH, PATTERNS, seed=7),
+    }
+
+    from repro.core import JudgingBlock
+
+    relaxed = JudgingBlock(WIDTH, arch.skip)
+    rows = []
+    for name, (md, mr) in workloads.items():
+        result = arch.run_patterns(md, mr, check_golden=True)
+        assert result.golden_ok
+        report = result.report
+        switch = (
+            "op %d" % report.indicator_aged_at
+            if report.indicator_aged_at >= 0
+            else "-"
+        )
+        rows.append(
+            [
+                name,
+                float(count_zeros(md, WIDTH).mean()),
+                relaxed.one_cycle_ratio(md),
+                report.one_cycle_ratio,
+                report.average_latency_ns,
+                "%.1f%%" % (100 * report.improvement_over(fixed_latency)),
+                switch,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "workload",
+                "zeros(md)",
+                "potential",
+                "realized",
+                "latency ns",
+                "vs FLCB",
+                "AHL trip",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Zero-rich coefficient streams raise the one-cycle *potential*."
+        "  Note the AHL can also trip on workload structure: a FIR"
+        " stream's full-scale center taps generate transition patterns"
+        " that violate a clock tuned on uniform noise, and the indicator"
+        " then trades one-cycle coverage for fewer re-executions --"
+        " the same mechanism that protects against aging."
+    )
+
+
+if __name__ == "__main__":
+    main()

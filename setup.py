@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation`` works on minimal environments
+without the ``wheel`` package (pip falls back to the legacy develop
+path when a setup.py is present).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro -- reproduction of "Aging-Aware Reliable Multiplier Design With
+Adaptive Hold Logic" (Lin, Cho, Yang).
+
+Layered public API:
+
+* :mod:`repro.nets`      -- gate-level netlist substrate
+* :mod:`repro.timing`    -- per-pattern timing, power, STA engines
+* :mod:`repro.arith`     -- array / column-bypassing / row-bypassing
+  multipliers and adders
+* :mod:`repro.aging`     -- NBTI/PBTI reaction-diffusion aging model
+* :mod:`repro.razor`     -- Razor flip-flop error detection
+* :mod:`repro.core`      -- the paper's contribution: adaptive hold logic
+  and the variable-latency multiplier architecture
+* :mod:`repro.workloads` -- seeded pattern generators
+* :mod:`repro.experiments` -- one module per paper table/figure
+
+Quickstart::
+
+    from repro import AgingAwareMultiplier
+
+    mult = AgingAwareMultiplier.build(width=16, kind="column", skip=7,
+                                      cycle_ns=0.9)
+    report = mult.run_random(10_000, seed=1)
+    print(report.average_latency_ns, report.error_count)
+"""
+
+from .config import (
+    DEFAULT_SIM_CONFIG,
+    DEFAULT_TECHNOLOGY,
+    SimulationConfig,
+    Technology,
+)
+from .errors import (
+    CalibrationError,
+    CombinationalLoopError,
+    ConfigError,
+    NetlistError,
+    ReproError,
+    SimulationError,
+    UnknownCellError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgingAwareMultiplier",
+    "CalibrationError",
+    "CombinationalLoopError",
+    "ConfigError",
+    "DEFAULT_SIM_CONFIG",
+    "DEFAULT_TECHNOLOGY",
+    "NetlistError",
+    "ReproError",
+    "SimulationConfig",
+    "SimulationError",
+    "Technology",
+    "UnknownCellError",
+    "WorkloadError",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy import of the heavyweight architecture class so that
+    # ``import repro`` stays cheap for substrate-only users.
+    if name == "AgingAwareMultiplier":
+        from .core.architecture import AgingAwareMultiplier
+
+        return AgingAwareMultiplier
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

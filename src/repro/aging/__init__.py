@@ -1,0 +1,31 @@
+"""NBTI/PBTI aging substrate (paper Section II-D).
+
+Pipeline: a workload simulation yields per-net signal probabilities
+(:mod:`repro.timing`); :mod:`repro.aging.stress` converts them into
+per-cell pMOS/nMOS stress duty factors; :mod:`repro.aging.bti` evaluates
+the ac reaction-diffusion model ``dVth = alpha(S) * K_DC * t^n`` (paper
+Eqs. 1-2); :mod:`repro.aging.degradation` maps the threshold drift into
+per-cell delay-scale factors through the alpha-power law, ready to feed
+:class:`repro.timing.CompiledCircuit`.
+"""
+
+from .bti import BTIModel
+from .stress import StressProfile, extract_stress
+from .degradation import AgedCircuitFactory, aging_delay_scale, delay_scale_factor
+from .electromigration import (
+    ElectromigrationModel,
+    cell_toggle_rates,
+    combined_delay_scale,
+)
+
+__all__ = [
+    "AgedCircuitFactory",
+    "BTIModel",
+    "ElectromigrationModel",
+    "StressProfile",
+    "aging_delay_scale",
+    "cell_toggle_rates",
+    "combined_delay_scale",
+    "delay_scale_factor",
+    "extract_stress",
+]

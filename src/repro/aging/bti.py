@@ -1,0 +1,117 @@
+"""The ac reaction-diffusion BTI model (paper Eqs. 1-2).
+
+Threshold-voltage drift of a stressed transistor::
+
+    dVth(t) ~= alpha(S, f) * K_DC * t^n                      (Eq. 1)
+
+    K_DC = A * T_OX * sqrt(C_OX * (V_GS - V_th))
+         * (1 - V_DS / (alpha * (V_GS - V_th)))
+         * exp(E_OX / E_0) * exp(-E_a / kT)                  (Eq. 2)
+
+with ``n = 1/6`` (H2 diffusion), ``E_a = 0.12 eV`` and ``E_0 = 1.9-2.0
+MV/cm`` exactly as the paper states.  Following the paper we drop the
+frequency dependence of ``alpha`` and keep only the signal-probability
+(duty-cycle) dependence, modelled as ``alpha(S) = S^n`` -- the standard
+ac/dc degradation ratio of the cited RD literature [24]-[26]: zero duty
+means no stress, full duty recovers the dc model.
+
+The prefactor ``A`` folds the unpublished technology constants; it is
+calibrated once (see :mod:`repro.experiments.calibration`) so that a
+16x16 column-bypassing multiplier's critical path degrades by the
+paper's ~13% over seven years at 125 degC (Fig. 7), and the calibrated
+value ships as :attr:`repro.config.Technology.bti_prefactor`.
+
+PBTI on nMOS uses the same functional form scaled by
+:attr:`~repro.config.Technology.pbti_ratio`: the paper targets 32-nm
+high-k metal gates, where PBTI is comparable to NBTI [2]-[4].
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Union
+
+import numpy as np
+
+from ..config import DEFAULT_TECHNOLOGY, SECONDS_PER_YEAR, Technology
+from ..errors import ConfigError
+
+#: Permittivity of SiO2 in F/m (3.9 * eps0).
+EPS_OXIDE = 3.9 * 8.8541878128e-12
+
+Number = Union[float, np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class BTIModel:
+    """Evaluates NBTI (pMOS) and PBTI (nMOS) threshold drift.
+
+    Args:
+        technology: Device constants and the calibrated prefactor.
+    """
+
+    technology: Technology = DEFAULT_TECHNOLOGY
+
+    def k_dc(self, kind: str = "nbti") -> float:
+        """The dc reaction-diffusion constant of Eq. 2, in volts/s^n."""
+        tech = self.technology
+        if kind == "nbti":
+            overdrive = tech.gate_overdrive_p
+            scale = 1.0
+        elif kind == "pbti":
+            overdrive = tech.gate_overdrive_n
+            scale = tech.pbti_ratio
+        else:
+            raise ConfigError("kind must be 'nbti' or 'pbti', got %r" % kind)
+        cox = EPS_OXIDE / tech.tox
+        oxide_field = overdrive / tech.tox
+        vds_term = 1.0 - tech.vds_ratio
+        return (
+            scale
+            * tech.bti_prefactor
+            * tech.tox
+            * math.sqrt(cox * overdrive)
+            * vds_term
+            * math.exp(oxide_field / tech.e0)
+            * tech.thermal_factor()
+        )
+
+    def alpha(self, stress_probability: Number) -> Number:
+        """The ac degradation factor ``alpha(S)`` of Eq. 1.
+
+        ``S`` is the fraction of time the transistor spends under stress
+        (pMOS gate low for NBTI, nMOS gate high for PBTI).
+        """
+        s = np.clip(np.asarray(stress_probability, dtype=float), 0.0, 1.0)
+        return s ** self.technology.n_exponent
+
+    def delta_vth(
+        self,
+        years: float,
+        stress_probability: Number,
+        kind: str = "nbti",
+    ) -> Number:
+        """Threshold drift in volts after ``years`` of operation (Eq. 1)."""
+        if years < 0:
+            raise ConfigError("years must be non-negative")
+        if years == 0:
+            return np.zeros_like(np.asarray(stress_probability, dtype=float))
+        seconds = years * SECONDS_PER_YEAR
+        drift = (
+            self.alpha(stress_probability)
+            * self.k_dc(kind)
+            * seconds ** self.technology.n_exponent
+        )
+        # Drift cannot consume the whole overdrive: clamp to 60% of it so
+        # pathological calibrations degrade gracefully instead of
+        # producing negative drive.
+        tech = self.technology
+        limit = 0.6 * (
+            tech.gate_overdrive_p if kind == "nbti" else tech.gate_overdrive_n
+        )
+        return np.minimum(drift, limit)
+
+    def static_drift(self, years: float, kind: str = "nbti") -> float:
+        """Worst-case (static stress, S=1) drift in volts."""
+        return float(self.delta_vth(years, 1.0, kind))

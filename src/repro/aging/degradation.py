@@ -1,0 +1,150 @@
+"""Mapping BTI threshold drift to gate-delay degradation.
+
+The alpha-power law ties a transistor's drive current -- and thus a
+gate's delay -- to its overdrive: ``delay ~ V_dd / (V_dd - V_th)^a``
+with ``a = alpha_sat ~ 1.3`` at 32 nm.  A cell's delay-scale factor
+after ``t`` years is a mix of the pull-up (NBTI) and pull-down (PBTI)
+slowdowns, weighted by the cell type's ``pmos_fraction``::
+
+    scale = f_p * ((Vdd - Vthp0) / (Vdd - Vthp0 - dVthp))^a
+          + f_n * ((Vdd - Vthn0) / (Vdd - Vthn0 - dVthn))^a
+
+These per-cell factors feed straight into
+:class:`repro.timing.CompiledCircuit`, giving the aged per-pattern delay
+distributions behind Figs. 7 and 19-27.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import DEFAULT_TECHNOLOGY, Technology
+from ..errors import SimulationError
+from ..nets.netlist import Netlist
+from ..timing.engine import CompiledCircuit
+from .bti import BTIModel
+from .stress import StressProfile, extract_stress
+
+
+def delay_scale_factor(
+    delta_vth: np.ndarray,
+    overdrive: float,
+    alpha_sat: float,
+) -> np.ndarray:
+    """Alpha-power delay ratio for a threshold drift ``delta_vth``."""
+    drift = np.asarray(delta_vth, dtype=float)
+    if np.any(drift < 0):
+        raise SimulationError("threshold drift must be non-negative")
+    remaining = overdrive - drift
+    if np.any(remaining <= 0):
+        raise SimulationError("threshold drift exceeds gate overdrive")
+    return (overdrive / remaining) ** alpha_sat
+
+
+def aging_delay_scale(
+    netlist: Netlist,
+    stress: StressProfile,
+    years: float,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+) -> np.ndarray:
+    """Per-cell delay-scale factors after ``years`` of the given stress."""
+    cells = netlist.cells
+    if stress.num_cells != len(cells):
+        raise SimulationError(
+            "stress profile has %d cells, netlist has %d"
+            % (stress.num_cells, len(cells))
+        )
+    model = BTIModel(technology)
+    dvth_p = model.delta_vth(years, stress.pmos_stress, "nbti")
+    dvth_n = model.delta_vth(years, stress.nmos_stress, "pbti")
+    scale_p = delay_scale_factor(
+        dvth_p, technology.gate_overdrive_p, technology.alpha_sat
+    )
+    scale_n = delay_scale_factor(
+        dvth_n, technology.gate_overdrive_n, technology.alpha_sat
+    )
+    pmos_fraction = np.array(
+        [cell.cell_type.pmos_fraction for cell in cells]
+    )
+    return pmos_fraction * scale_p + (1.0 - pmos_fraction) * scale_n
+
+
+@dataclasses.dataclass
+class AgedCircuitFactory:
+    """Produces compiled circuits for any point in a design's lifetime.
+
+    Usage::
+
+        factory = AgedCircuitFactory.characterize(netlist, seed=7)
+        fresh = factory.circuit(years=0)
+        aged = factory.circuit(years=7)
+
+    ``characterize`` runs a random workload once to measure signal
+    probabilities; ``circuit(years)`` then compiles the netlist with the
+    matching per-cell delay-scale factors.  Compiled circuits are cached
+    per year.
+    """
+
+    netlist: Netlist
+    stress: StressProfile
+    technology: Technology = DEFAULT_TECHNOLOGY
+
+    def __post_init__(self):
+        self._cache: Dict[float, CompiledCircuit] = {}
+        self._model = BTIModel(self.technology)
+
+    @classmethod
+    def characterize(
+        cls,
+        netlist: Netlist,
+        technology: Technology = DEFAULT_TECHNOLOGY,
+        num_patterns: int = 2000,
+        seed: int = 2014,
+        stimulus: Optional[Dict[str, np.ndarray]] = None,
+    ) -> "AgedCircuitFactory":
+        """Measure stress on a random (or supplied) workload."""
+        circuit = CompiledCircuit(netlist, technology)
+        if stimulus is None:
+            rng = np.random.default_rng(seed)
+            stimulus = {}
+            for name, port in netlist.input_ports.items():
+                high = 1 << port.width if port.width < 64 else (1 << 63)
+                stimulus[name] = rng.integers(
+                    0, high, num_patterns, dtype=np.uint64
+                )
+        result = circuit.run(stimulus, collect_net_stats=True)
+        stress = extract_stress(netlist, result.signal_prob)
+        return cls(netlist, stress, technology)
+
+    def delay_scale(self, years: float) -> np.ndarray:
+        """Per-cell delay factors after ``years``."""
+        return aging_delay_scale(
+            self.netlist, self.stress, years, self.technology
+        )
+
+    def circuit(self, years: float = 0.0) -> CompiledCircuit:
+        """Compiled circuit aged by ``years`` (cached)."""
+        key = float(years)
+        if key not in self._cache:
+            if years == 0:
+                self._cache[key] = CompiledCircuit(
+                    self.netlist, self.technology
+                )
+            else:
+                self._cache[key] = CompiledCircuit(
+                    self.netlist, self.technology, self.delay_scale(years)
+                )
+        return self._cache[key]
+
+    def mean_delta_vth(self, years: float) -> float:
+        """Workload-average threshold drift (volts), for leakage scaling."""
+        if years == 0:
+            return 0.0
+        dvth_p = self._model.delta_vth(years, self.stress.pmos_stress, "nbti")
+        dvth_n = self._model.delta_vth(years, self.stress.nmos_stress, "pbti")
+        if self.stress.num_cells == 0:
+            return 0.0
+        return float((dvth_p.mean() + dvth_n.mean()) / 2.0)

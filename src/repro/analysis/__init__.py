@@ -1,0 +1,7 @@
+"""Result presentation: histograms, ASCII tables and series."""
+
+from .histogram import Histogram
+from .series import Series, improvement
+from .tables import format_table
+
+__all__ = ["Histogram", "Series", "format_table", "improvement"]

@@ -1,0 +1,48 @@
+"""Named (x, y) series and comparison helpers for the latency sweeps."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclasses.dataclass(frozen=True)
+class Series:
+    """One curve of a paper figure: y over x, with a label."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self):
+        if self.x.shape != self.y.shape:
+            raise SimulationError("series x and y must be equally long")
+
+    @classmethod
+    def build(cls, name: str, x: Sequence[float], y: Sequence[float]):
+        return cls(name, np.asarray(x, dtype=float), np.asarray(y, dtype=float))
+
+    def best(self) -> "tuple[float, float]":
+        """(x, y) of the series minimum (best cycle period)."""
+        k = int(np.argmin(self.y))
+        return float(self.x[k]), float(self.y[k])
+
+    def at(self, x_value: float) -> float:
+        """y at the sample nearest to ``x_value``."""
+        k = int(np.argmin(np.abs(self.x - x_value)))
+        return float(self.y[k])
+
+    def crossings_below(self, level: float) -> List[float]:
+        """x samples where the series dips below a constant level."""
+        return [float(xv) for xv, yv in zip(self.x, self.y) if yv < level]
+
+
+def improvement(variable: float, baseline: float) -> float:
+    """Relative reduction: the paper's "X% less than" number."""
+    if baseline <= 0:
+        raise SimulationError("baseline must be positive")
+    return 1.0 - variable / baseline

@@ -1,0 +1,33 @@
+"""Minimal ASCII table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "%.4g",
+) -> str:
+    """Render a list of rows as an aligned ASCII table."""
+    rendered = [
+        [
+            (float_format % cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[k]) for k, h in enumerate(headers)),
+        "  ".join("-" * widths[k] for k in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[k]) for k, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Arithmetic circuit generators.
+
+Structural gate-level generators for every datapath the paper uses:
+
+* :func:`ripple_carry_adder` and :func:`variable_latency_rca` -- the
+  8-bit motivating example of Fig. 4 (RCA + hold logic);
+* :func:`array_multiplier` -- the plain carry-save array multiplier (AM,
+  Fig. 1), the paper's performance baseline;
+* :func:`column_bypass_multiplier` -- Wen et al. [22] (Fig. 2): full
+  adders along a multiplicand diagonal are skipped when that multiplicand
+  bit is 0;
+* :func:`row_bypass_multiplier` -- Ohban et al. [23] (Fig. 3): whole rows
+  are skipped when the multiplicator bit is 0, with deferred-carry muxes
+  and the extended final adder that re-absorbs dropped carries;
+* :func:`wallace_multiplier` and :func:`booth_multiplier` -- the classic
+  fast-multiplier baselines of the related work (tree reduction and
+  radix-4 recoding), built on the shared column reducer
+  (:mod:`repro.arith.reduction`).
+
+All generators return a validated :class:`repro.nets.Netlist` with ports
+``md`` (multiplicand), ``mr`` (multiplicator) and ``p`` (product), and are
+verified exhaustively against :mod:`repro.arith.reference` in the tests.
+"""
+
+from .adders import (
+    carry_save_add,
+    half_add,
+    ripple_carry_adder,
+    variable_latency_rca,
+)
+from .array_mult import array_multiplier
+from .booth import booth_multiplier
+from .column_bypass import column_bypass_multiplier
+from .dadda import dadda_multiplier
+from .row_bypass import row_bypass_multiplier
+from .wallace import wallace_multiplier
+from .reference import (
+    count_ones,
+    count_zeros,
+    golden_add,
+    golden_product,
+    golden_products,
+)
+
+__all__ = [
+    "array_multiplier",
+    "booth_multiplier",
+    "carry_save_add",
+    "column_bypass_multiplier",
+    "count_ones",
+    "dadda_multiplier",
+    "count_zeros",
+    "golden_add",
+    "golden_product",
+    "golden_products",
+    "half_add",
+    "ripple_carry_adder",
+    "row_bypass_multiplier",
+    "variable_latency_rca",
+    "wallace_multiplier",
+]

@@ -1,0 +1,284 @@
+"""Adder building blocks and the Fig. 4 variable-latency RCA example.
+
+:func:`carry_save_add` is the one helper every multiplier generator is
+built from.  It emits the textbook 5-gate full adder (two XORs for the
+sum; two ANDs and an OR for the majority carry) but degrades gracefully
+when inputs are constant rails: a full adder with one zero input becomes
+a half adder, with two zero inputs becomes a wire.  That keeps transistor
+counts honest for the Fig. 25 area comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import NetlistError
+from ..nets.cells import CellLibrary, STANDARD_LIBRARY
+from ..nets.netlist import CONST0, CONST1, Netlist
+
+
+def half_add(
+    nl: Netlist,
+    x: int,
+    y: int,
+    group: Optional[str] = None,
+    prefix: str = "",
+) -> Tuple[int, int]:
+    """Half adder: returns ``(sum, carry)`` nets; folds constant inputs."""
+    if x == CONST0:
+        return y, CONST0
+    if y == CONST0:
+        return x, CONST0
+    if x == CONST1 and y == CONST1:
+        return CONST0, CONST1
+    if x == CONST1:
+        return (
+            nl.inv(y, name=prefix + "s", group=group),
+            y,
+        )
+    if y == CONST1:
+        return (
+            nl.inv(x, name=prefix + "s", group=group),
+            x,
+        )
+    total = nl.xor2(x, y, name=prefix + "s", group=group)
+    carry = nl.and2(x, y, name=prefix + "c", group=group)
+    return total, carry
+
+
+def carry_save_add(
+    nl: Netlist,
+    x: int,
+    y: int,
+    z: int,
+    group: Optional[str] = None,
+    prefix: str = "",
+) -> Tuple[int, int]:
+    """Full adder: returns ``(sum, carry)`` nets; folds constant inputs.
+
+    Structure (when all three inputs are live nets)::
+
+        t     = x XOR y
+        sum   = t XOR z
+        carry = (x AND y) OR (t AND z)
+
+    which places the majority carry on the classic XOR-AND-OR path the
+    paper's delay distributions depend on.
+    """
+    operands = [x, y, z]
+    live = [net for net in operands if net != CONST0]
+    num_ones = sum(1 for net in operands if net == CONST1)
+    live = [net for net in live if net != CONST1]
+
+    if num_ones == 0:
+        if len(live) <= 1:
+            return (live[0] if live else CONST0), CONST0
+        if len(live) == 2:
+            return half_add(nl, live[0], live[1], group=group, prefix=prefix)
+        a, b, c = live
+        t = nl.xor2(a, b, name=prefix + "t", group=group)
+        total = nl.xor2(t, c, name=prefix + "s", group=group)
+        g1 = nl.and2(a, b, name=prefix + "g1", group=group)
+        g2 = nl.and2(t, c, name=prefix + "g2", group=group)
+        carry = nl.or2(g1, g2, name=prefix + "c", group=group)
+        return total, carry
+
+    if num_ones == 1:
+        # x + y + 1: sum = NOT(x XOR y); carry = x OR y.
+        if not live:
+            return CONST1, CONST0
+        if len(live) == 1:
+            return nl.inv(live[0], name=prefix + "s", group=group), live[0]
+        a, b = live
+        total = nl.xnor2(a, b, name=prefix + "s", group=group)
+        carry = nl.or2(a, b, name=prefix + "c", group=group)
+        return total, carry
+
+    if num_ones == 2:
+        # x + 2: sum = x, carry = 1.
+        return (live[0] if live else CONST0), CONST1
+
+    return CONST1, CONST1  # 1 + 1 + 1 = 0b11
+
+
+def kogge_stone_sum(
+    nl: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    prefix: str = "ks",
+) -> List[int]:
+    """Parallel-prefix (Kogge-Stone) addition of two bit vectors.
+
+    Returns ``width + 1`` sum nets (carry-out on top) with O(log width)
+    logic depth -- the carry-propagate stage the tree multipliers
+    (Wallace, Booth) use so their overall depth stays logarithmic.
+    Constant bits fold away, so unequal-length vectors are fine.
+    """
+    from .gatefold import fold_and, fold_or, fold_xor
+
+    width = max(len(a_bits), len(b_bits))
+    if width == 0:
+        raise NetlistError("kogge_stone_sum needs at least one bit")
+
+    def bit(bits, index):
+        return bits[index] if index < len(bits) else CONST0
+
+    propagate = [
+        fold_xor(nl, bit(a_bits, i), bit(b_bits, i),
+                 name="%s_p%d" % (prefix, i))
+        for i in range(width)
+    ]
+    generate = [
+        fold_and(nl, bit(a_bits, i), bit(b_bits, i),
+                 name="%s_g%d" % (prefix, i))
+        for i in range(width)
+    ]
+
+    # Prefix tree: after the last level, generate[i] is the carry out of
+    # bit i (the group generate over [0, i]).
+    group_p = list(propagate)
+    group_g = list(generate)
+    distance = 1
+    level = 0
+    while distance < width:
+        new_p = list(group_p)
+        new_g = list(group_g)
+        for i in range(distance, width):
+            tag = "%s_l%d_%d" % (prefix, level, i)
+            carried = fold_and(nl, group_p[i], group_g[i - distance],
+                               name=tag + "_a")
+            new_g[i] = fold_or(nl, group_g[i], carried, name=tag + "_o")
+            new_p[i] = fold_and(nl, group_p[i], group_p[i - distance],
+                                name=tag + "_p")
+        group_p, group_g = new_p, new_g
+        distance *= 2
+        level += 1
+
+    sums = [propagate[0]]
+    for i in range(1, width):
+        sums.append(
+            fold_xor(nl, propagate[i], group_g[i - 1],
+                     name="%s_s%d" % (prefix, i))
+        )
+    sums.append(group_g[width - 1])
+    return sums
+
+
+def adaptive_hold_rca(
+    width: int = 16,
+    position: Optional[int] = None,
+    library: CellLibrary = STANDARD_LIBRARY,
+) -> Netlist:
+    """An RCA with *two* hold-logic criteria for an adaptive VL adder.
+
+    The aging-aware variable-latency adder (the paper's direct
+    predecessors [20], [21]) needs the same relaxed/strict pair the
+    multiplier AHL has:
+
+    * ``hold`` (relaxed): ``p_a AND p_(a+1)`` -- two monitored stages
+      both propagate, so the long carry chain may be live: take two
+      cycles (fires on ~25% of random patterns, Fig. 4's criterion);
+    * ``hold_strict``: ``(p_(a-1) AND p_a) OR (p_a AND p_(a+1))`` --
+      any adjacent propagating pair across a wider window: fires more
+      often, classifying more patterns as two-cycle once aging has
+      eaten the timing margin.
+
+    Ports: ``a``, ``b`` in; ``s`` (sum+carry), ``hold``, ``hold_strict``
+    (1 bit each) out.
+    """
+    if width < 3:
+        raise NetlistError("adaptive-hold RCA needs width >= 3")
+    if position is None:
+        position = width // 2
+    if not 1 <= position < width - 1:
+        raise NetlistError(
+            "position must leave room for the 3-bit window, got %d"
+            % position
+        )
+    nl = ripple_carry_adder(width, library, name="avl-rca-%d" % width)
+    a = list(nl.input_ports["a"].nets)
+    b = list(nl.input_ports["b"].nets)
+    propagate = {
+        k: nl.xor2(a[k], b[k], name="hp%d" % k)
+        for k in (position - 1, position, position + 1)
+    }
+    relaxed = nl.and2(
+        propagate[position], propagate[position + 1], name="hold_relaxed"
+    )
+    lower_pair = nl.and2(
+        propagate[position - 1], propagate[position], name="hold_lower"
+    )
+    strict = nl.or2(lower_pair, relaxed, name="hold_strict_or")
+    nl.add_output_port("hold", [relaxed])
+    nl.add_output_port("hold_strict", [strict])
+    nl.validate()
+    return nl
+
+
+def ripple_carry_adder(
+    width: int,
+    library: CellLibrary = STANDARD_LIBRARY,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Plain ``width``-bit ripple-carry adder.
+
+    Ports: inputs ``a``, ``b`` (``width`` bits), output ``s``
+    (``width + 1`` bits, carry-out on top).
+    """
+    if width < 1:
+        raise NetlistError("width must be >= 1")
+    nl = Netlist(name or "rca-%d" % width, library)
+    a = nl.add_input_port("a", width)
+    b = nl.add_input_port("b", width)
+    carry = CONST0
+    sums: List[int] = []
+    for i in range(width):
+        total, carry = carry_save_add(
+            nl, a[i], b[i], carry, prefix="fa%d_" % i
+        )
+        sums.append(total)
+    sums.append(carry)
+    nl.add_output_port("s", sums)
+    nl.validate()
+    return nl
+
+
+def variable_latency_rca(
+    width: int = 8,
+    hold_positions: Optional[Sequence[int]] = None,
+    library: CellLibrary = STANDARD_LIBRARY,
+) -> Netlist:
+    """The Fig. 4 variable-latency RCA: an RCA plus its hold logic.
+
+    The hold logic ANDs together ``a_i XOR b_i`` over ``hold_positions``
+    (Fig. 4 uses bit positions 3 and 4, i.e. the 4th and 5th adders): if
+    any monitored stage has equal inputs it kills the long carry chain,
+    so the addition finishes within the short cycle; if all monitored
+    stages propagate, the ``hold`` output is 1 and the operation takes
+    two cycles.
+
+    Ports: ``a``, ``b`` in; ``s`` (sum with carry-out) and ``hold``
+    (1 bit) out.
+    """
+    if width < 2:
+        raise NetlistError("variable-latency RCA needs width >= 2")
+    if hold_positions is None:
+        hold_positions = (width // 2 - 1, width // 2)
+    nl = ripple_carry_adder(width, library, name="vl-rca-%d" % width)
+    a = list(nl.input_ports["a"].nets)
+    b = list(nl.input_ports["b"].nets)
+    hold = None
+    for position in hold_positions:
+        if not 0 <= position < width:
+            raise NetlistError(
+                "hold position %d outside adder width %d" % (position, width)
+            )
+        propagate = nl.xor2(a[position], b[position], name="hp%d" % position)
+        hold = (
+            propagate
+            if hold is None
+            else nl.and2(hold, propagate, name="hand%d" % position)
+        )
+    nl.add_output_port("hold", [hold])
+    nl.validate()
+    return nl

@@ -1,0 +1,108 @@
+"""Plain carry-save array multiplier (paper Fig. 1).
+
+Structure: an AND plane of partial products ``pp(i, j) = md_j AND mr_i``,
+``width - 1`` rows of carry-save adders, and a final ripple row for carry
+propagation.  Row ``i`` adds partial-product row ``i`` (absolute weights
+``i .. i + width - 1``) to the running sum and the carries emitted by the
+row above; the rightmost sum of each row drops out as a final product
+bit.  This is the AM baseline of every figure in Section IV.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import NetlistError
+from ..nets.cells import CellLibrary, STANDARD_LIBRARY
+from ..nets.netlist import CONST0, Netlist
+from .adders import carry_save_add
+
+
+def partial_products(nl: Netlist, md, mr) -> List[List[int]]:
+    """The AND plane: ``pp[i][j] = md[j] AND mr[i]``."""
+    return [
+        [
+            nl.and2(md[j], mr[i], name="pp_%d_%d" % (i, j))
+            for j in range(len(md))
+        ]
+        for i in range(len(mr))
+    ]
+
+
+def array_multiplier(
+    width: int,
+    library: CellLibrary = STANDARD_LIBRARY,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Build a ``width x width`` unsigned array multiplier.
+
+    Ports: ``md`` (multiplicand), ``mr`` (multiplicator), ``p``
+    (``2 * width``-bit product).
+    """
+    if width < 2:
+        raise NetlistError("multiplier width must be >= 2")
+    nl = Netlist(name or "am-%dx%d" % (width, width), library)
+    md = nl.add_input_port("md", width)
+    mr = nl.add_input_port("mr", width)
+    pp = partial_products(nl, md, mr)
+
+    product: List[Optional[int]] = [None] * (2 * width)
+    # Running sum bits by absolute weight; carries emitted by the row
+    # above, also by absolute weight.
+    sums: Dict[int, int] = {w: pp[0][w] for w in range(width)}
+    carries: Dict[int, int] = {}
+    product[0] = sums[0]
+
+    for i in range(1, width):
+        new_sums: Dict[int, int] = {}
+        new_carries: Dict[int, int] = {}
+        for w in range(i, i + width):
+            total, carry = carry_save_add(
+                nl,
+                pp[i][w - i],
+                sums.get(w, CONST0),
+                carries.get(w, CONST0),
+                prefix="r%d_w%d_" % (i, w),
+            )
+            new_sums[w] = total
+            if carry != CONST0:
+                new_carries[w + 1] = carry
+        product[i] = new_sums[i]
+        sums, carries = new_sums, new_carries
+
+    _final_ripple(nl, width, sums, carries, product)
+    nl.add_output_port("p", [net for net in product])
+    nl.validate()
+    return nl
+
+
+def _final_ripple(
+    nl: Netlist,
+    width: int,
+    sums: Dict[int, int],
+    carries: Dict[int, int],
+    product: List[Optional[int]],
+) -> None:
+    """The carry-propagating last row shared by AM and column bypassing.
+
+    Adds the surviving sum and carry vectors over weights
+    ``width .. 2*width - 2``; the top product bit combines the final
+    ripple carry with the leftmost carry-save carry (their sum never
+    overflows because the product fits in ``2*width`` bits).
+    """
+    ripple = CONST0
+    for w in range(width, 2 * width - 1):
+        product[w], ripple = carry_save_add(
+            nl,
+            sums.get(w, CONST0),
+            carries.get(w, CONST0),
+            ripple,
+            prefix="fin_w%d_" % w,
+        )
+    top_carry = carries.get(2 * width - 1, CONST0)
+    if ripple == CONST0:
+        product[2 * width - 1] = top_carry
+    elif top_carry == CONST0:
+        product[2 * width - 1] = ripple
+    else:
+        product[2 * width - 1] = nl.xor2(ripple, top_carry, name="fin_top")

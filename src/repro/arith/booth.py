@@ -1,0 +1,118 @@
+"""Radix-4 (modified) Booth multiplier.
+
+The related-work baseline of the paper's reference [18] (variable-latency
+*Booth* pipelines): the multiplicator is recoded into ``width/2 + 1``
+signed digits in {-2,-1,0,+1,+2}, halving the partial-product count; the
+rows are summed by the shared carry-save column reducer.
+
+Unsigned semantics: both operands are treated as non-negative two's
+complement values (a zero sign bit is appended), negative digit rows are
+realized with the standard invert-and-add-one identity, and sign
+extension runs to the full ``2*width`` columns with arithmetic taken
+modulo ``2^(2*width)`` -- which is exact for unsigned products.  The
+tests verify exhaustive equality with integer multiplication.
+
+Booth encoding per digit i over the triplet
+``(mr[2i+1], mr[2i], mr[2i-1])``::
+
+    one = mid XOR lo               # digit magnitude 1
+    two = (hi XOR mid) AND NOT(mid XOR lo)   # digit magnitude 2
+    neg = hi                       # digit sign
+
+(the all-ones triplet encodes digit 0; ``neg=1`` with zero magnitude is
+harmless because ``~0 + 1 = 0`` in two's complement.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import NetlistError
+from ..nets.netlist import CONST0, CONST1, Netlist
+from ..nets.cells import CellLibrary, STANDARD_LIBRARY
+from .gatefold import fold_and as _and, fold_or as _or, fold_xnor as _xnor, fold_xor as _xor
+from .reduction import Columns, add_to_column, columns_to_product
+
+
+class _BoothDigit:
+    """Encoded control signals of one radix-4 digit."""
+
+    def __init__(self, nl: Netlist, hi: int, mid: int, lo: int, tag: str):
+        mid_lo = _xor(nl, mid, lo, name=tag + "_one")
+        self.one = mid_lo
+        hi_mid = _xor(nl, hi, mid)
+        same_mid_lo = (
+            _xnor(nl, mid, lo, name=tag + "_same")
+            if mid_lo not in (CONST0, CONST1)
+            else (CONST1 if mid_lo == CONST0 else CONST0)
+        )
+        self.two = _and(nl, hi_mid, same_mid_lo, name=tag + "_two")
+        self.neg = hi
+
+
+def booth_multiplier(
+    width: int,
+    library: CellLibrary = STANDARD_LIBRARY,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Build a ``width x width`` unsigned radix-4 Booth multiplier.
+
+    Ports: ``md``, ``mr`` in; ``p`` (``2*width`` bits) out.
+    """
+    if width < 2:
+        raise NetlistError("multiplier width must be >= 2")
+    nl = Netlist(name or "booth-%dx%d" % (width, width), library)
+    md = nl.add_input_port("md", width)
+    mr = nl.add_input_port("mr", width)
+    out_width = 2 * width
+
+    def mr_bit(index: int) -> int:
+        return mr[index] if 0 <= index < width else CONST0
+
+    def md_bit(index: int) -> int:
+        return md[index] if 0 <= index < width else CONST0
+
+    columns: Columns = {}
+    num_digits = width // 2 + 1
+    for i in range(num_digits):
+        tag = "bd%d" % i
+        digit = _BoothDigit(
+            nl,
+            hi=mr_bit(2 * i + 1),
+            mid=mr_bit(2 * i),
+            lo=mr_bit(2 * i - 1),
+            tag=tag,
+        )
+        offset = 2 * i
+        # Magnitude bits: one*md + two*(md << 1), width+1 bits.
+        for j in range(width + 1):
+            single = _and(nl, digit.one, md_bit(j))
+            double = _and(nl, digit.two, md_bit(j - 1))
+            magnitude = _or(nl, single, double, name="%s_m%d" % (tag, j))
+            bit = _xor(nl, magnitude, digit.neg, name="%s_p%d" % (tag, j))
+            weight = offset + j
+            if weight < out_width:
+                add_to_column(columns, weight, bit)
+        # Sign extension of the inverted row to the product width.
+        if digit.neg != CONST0:
+            for weight in range(offset + width + 1, out_width):
+                add_to_column(columns, weight, digit.neg)
+            # The +1 completing the two's complement negation.
+            add_to_column(columns, offset, digit.neg)
+
+    product = columns_to_product(nl, columns, out_width, prefix="booth")
+    nl.add_output_port("p", product)
+    nl.validate()
+    return nl
+
+
+def booth_digit_values(mr_value: int, width: int) -> List[int]:
+    """Reference radix-4 recoding (used by tests): digits, LSB first."""
+    digits = []
+    padded = mr_value << 1  # b_{-1} = 0
+    for i in range(width // 2 + 1):
+        triplet = (padded >> (2 * i)) & 0b111
+        digits.append(
+            {0: 0, 1: 1, 2: 1, 3: 2, 4: -2, 5: -1, 6: -1, 7: 0}[triplet]
+        )
+    return digits

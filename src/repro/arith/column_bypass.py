@@ -1,0 +1,107 @@
+"""Column-bypassing multiplier (Wen et al. [22]; paper Fig. 2).
+
+In the array multiplier, all full adders whose partial product uses
+multiplicand bit ``md_d`` form a diagonal, and -- crucially -- the
+carry-save carry chains stay *within* that diagonal.  So when ``md_d``
+is 0 every partial product and every internal carry of the diagonal is 0:
+each full adder there would only copy its upper sum input downwards.
+
+The bypass exploits this exactly: per full adder, two tri-state gates
+freeze the sum/carry inputs (no switching, the power saving), a
+multiplexer driven by ``md_d`` routes the upper sum straight down, and an
+AND gate forces the emitted carry to 0.  The transformation is *exact*
+(not approximate): the bypassed outputs equal what the full adder would
+have produced, so the netlist stays functionally identical to the array
+multiplier -- the tests verify this exhaustively.
+
+Because a skipped diagonal costs one mux instead of a full sum/carry
+evaluation, the per-pattern path delay drops as the number of zeros in
+the multiplicand grows -- the property the AHL judging blocks key on
+(paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import NetlistError
+from ..nets.cells import CellLibrary, STANDARD_LIBRARY
+from ..nets.netlist import CONST0, Netlist
+from .adders import carry_save_add
+from .array_mult import _final_ripple, partial_products
+
+
+def column_bypass_multiplier(
+    width: int,
+    library: CellLibrary = STANDARD_LIBRARY,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Build a ``width x width`` column-bypassing multiplier.
+
+    Ports: ``md`` (multiplicand, also the bypass selects), ``mr``
+    (multiplicator), ``p`` (product).  Cells of bypass diagonal ``d``
+    carry group tag ``"cbd<d>"`` with ``md_d`` as the group enable, which
+    the power model uses to freeze their switching when bypassed.
+    """
+    if width < 2:
+        raise NetlistError("multiplier width must be >= 2")
+    nl = Netlist(name or "cb-%dx%d" % (width, width), library)
+    md = nl.add_input_port("md", width)
+    mr = nl.add_input_port("mr", width)
+    pp = partial_products(nl, md, mr)
+
+    registered_groups = set()
+    product: List[Optional[int]] = [None] * (2 * width)
+    sums: Dict[int, int] = {w: pp[0][w] for w in range(width)}
+    carries: Dict[int, int] = {}
+    product[0] = sums[0]
+
+    for i in range(1, width):
+        new_sums: Dict[int, int] = {}
+        new_carries: Dict[int, int] = {}
+        for w in range(i, i + width):
+            d = w - i
+            select = md[d]
+            group = "cbd%d" % d
+            if group not in registered_groups:
+                nl.set_group_enable(group, select)
+                registered_groups.add(group)
+
+            sum_in = sums.get(w, CONST0)
+            carry_in = carries.get(w, CONST0)
+            prefix = "r%d_w%d_" % (i, w)
+
+            gated_sum = (
+                nl.tribuf(sum_in, select, name=prefix + "ts", group=group)
+                if sum_in != CONST0
+                else CONST0
+            )
+            gated_carry = (
+                nl.tribuf(carry_in, select, name=prefix + "tc", group=group)
+                if carry_in != CONST0
+                else CONST0
+            )
+            fa_sum, fa_carry = carry_save_add(
+                nl, pp[i][d], gated_sum, gated_carry, group=group, prefix=prefix
+            )
+
+            # Bypass mux: when md_d is 0 the upper sum drops straight
+            # through; the emitted carry is forced to 0 (it is provably 0
+            # inside a bypassed diagonal, so this is exact).
+            if fa_sum == sum_in:
+                new_sums[w] = sum_in  # degenerate cell, nothing to bypass
+            else:
+                new_sums[w] = nl.mux2(
+                    sum_in, fa_sum, select, name=prefix + "smux"
+                )
+            if fa_carry != CONST0:
+                new_carries[w + 1] = nl.and2(
+                    select, fa_carry, name=prefix + "cmask"
+                )
+        product[i] = new_sums[i]
+        sums, carries = new_sums, new_carries
+
+    _final_ripple(nl, width, sums, carries, product)
+    nl.add_output_port("p", [net for net in product])
+    nl.validate()
+    return nl

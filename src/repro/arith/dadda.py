@@ -1,0 +1,56 @@
+"""Dadda multiplier.
+
+Same AND plane and final prefix adder as the Wallace tree, but with the
+lazy Dadda reduction schedule: each stage compresses only down to the
+next height in the 2, 3, 4, 6, 9, 13, ... sequence, spending the
+minimum number of full/half adders.  Included as the area-lean member
+of the tree-multiplier baseline family (``ext_baselines``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import NetlistError
+from ..nets.cells import CellLibrary, STANDARD_LIBRARY
+from ..nets.netlist import CONST0, Netlist
+from .adders import kogge_stone_sum
+from .array_mult import partial_products
+from .reduction import Columns, add_to_column, reduce_columns
+
+
+def dadda_multiplier(
+    width: int,
+    library: CellLibrary = STANDARD_LIBRARY,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Build a ``width x width`` unsigned Dadda multiplier.
+
+    Ports: ``md``, ``mr`` in; ``p`` (``2*width`` bits) out.
+    """
+    if width < 2:
+        raise NetlistError("multiplier width must be >= 2")
+    nl = Netlist(name or "dadda-%dx%d" % (width, width), library)
+    md = nl.add_input_port("md", width)
+    mr = nl.add_input_port("mr", width)
+    pp = partial_products(nl, md, mr)
+
+    columns: Columns = {}
+    for i in range(width):
+        for j in range(width):
+            add_to_column(columns, i + j, pp[i][j])
+
+    reduced = reduce_columns(nl, columns, prefix="dad", strategy="dadda")
+    out_width = 2 * width
+    a_bits = []
+    b_bits = []
+    for weight in range(out_width):
+        nets = reduced.get(weight, [])
+        if len(nets) > 2:
+            raise NetlistError("column %d not fully reduced" % weight)
+        a_bits.append(nets[0] if len(nets) >= 1 else CONST0)
+        b_bits.append(nets[1] if len(nets) >= 2 else CONST0)
+    product = kogge_stone_sum(nl, a_bits, b_bits, prefix="dadcpa")[:out_width]
+    nl.add_output_port("p", product)
+    nl.validate()
+    return nl

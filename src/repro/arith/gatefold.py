@@ -1,0 +1,69 @@
+"""Constant-folding gate helpers.
+
+Thin wrappers over the :class:`~repro.nets.netlist.Netlist` gate
+builders that fold constant-rail inputs away instead of emitting
+degenerate gates -- the generators use them wherever operands may be
+``CONST0``/``CONST1`` (Booth magnitude muxing, prefix-adder boundaries),
+keeping transistor counts honest.
+"""
+
+from __future__ import annotations
+
+from ..nets.netlist import CONST0, CONST1, Netlist
+
+
+def fold_and(nl: Netlist, a: int, b: int, name: str = "") -> int:
+    if a == CONST0 or b == CONST0:
+        return CONST0
+    if a == CONST1:
+        return b
+    if b == CONST1:
+        return a
+    if a == b:
+        return a
+    return nl.and2(a, b, name=name)
+
+
+def fold_or(nl: Netlist, a: int, b: int, name: str = "") -> int:
+    if a == CONST1 or b == CONST1:
+        return CONST1
+    if a == CONST0:
+        return b
+    if b == CONST0:
+        return a
+    if a == b:
+        return a
+    return nl.or2(a, b, name=name)
+
+
+def fold_xor(nl: Netlist, a: int, b: int, name: str = "") -> int:
+    if a == CONST0:
+        return b
+    if b == CONST0:
+        return a
+    if a == CONST1 and b == CONST1:
+        return CONST0
+    if a == CONST1:
+        return nl.inv(b, name=name)
+    if b == CONST1:
+        return nl.inv(a, name=name)
+    if a == b:
+        return CONST0
+    return nl.xor2(a, b, name=name)
+
+
+def fold_xnor(nl: Netlist, a: int, b: int, name: str = "") -> int:
+    folded = fold_xor(nl, a, b)
+    if folded == CONST0:
+        return CONST1
+    if folded == CONST1:
+        return CONST0
+    return nl.inv(folded, name=name)
+
+
+def fold_mux(nl: Netlist, d0: int, d1: int, select: int, name: str = "") -> int:
+    if select == CONST0 or d0 == d1:
+        return d0
+    if select == CONST1:
+        return d1
+    return nl.mux2(d0, d1, select, name=name)

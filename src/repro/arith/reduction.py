@@ -1,0 +1,181 @@
+"""Generic carry-save column reduction.
+
+A *column map* assigns each bit weight a list of nets to be summed.
+:func:`reduce_columns` compresses it with full/half adders until every
+weight holds at most two nets (Wallace/Dadda style), and
+:func:`columns_to_product` finishes with a ripple carry-propagate stage.
+The Wallace-tree and Booth multipliers are both thin layers over these
+two functions; the exhaustive multiplier tests cover them indirectly and
+``tests/test_reduction.py`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import NetlistError
+from ..nets.netlist import CONST0, CONST1, Netlist
+from .adders import carry_save_add
+
+Columns = Dict[int, List[int]]
+
+
+def add_to_column(columns: Columns, weight: int, net: int) -> None:
+    """Append a net to a weight's column (constant 0 folds away)."""
+    if weight < 0:
+        raise NetlistError("column weight must be non-negative")
+    if net == CONST0:
+        return
+    columns.setdefault(weight, []).append(net)
+
+
+def add_constant(columns: Columns, weight: int, value: int) -> None:
+    """Add an integer constant starting at ``weight``."""
+    if value < 0:
+        raise NetlistError("use two's-complement nets for negatives")
+    position = weight
+    while value:
+        if value & 1:
+            add_to_column(columns, position, CONST1)
+        value >>= 1
+        position += 1
+
+
+def reduce_columns(
+    nl: Netlist,
+    columns: Columns,
+    prefix: str = "red",
+    strategy: str = "wallace",
+) -> Columns:
+    """Compress columns until every weight holds at most two nets.
+
+    Two classic schedules:
+
+    * ``"wallace"`` -- greedy: every level compresses as many 3:2
+      groups per column as possible (fewest levels, more adders);
+    * ``"dadda"`` -- lazy: each level only compresses down to the next
+      Dadda height (2, 3, 4, 6, 9, 13, ...), using the minimum number
+      of full/half adders.
+
+    Constant-1 nets participate like any other and fold inside
+    :func:`carry_save_add` where possible.
+    """
+    if strategy == "wallace":
+        return _reduce_wallace(nl, columns, prefix)
+    if strategy == "dadda":
+        return _reduce_dadda(nl, columns, prefix)
+    raise NetlistError("unknown reduction strategy %r" % (strategy,))
+
+
+def _reduce_wallace(nl: Netlist, columns: Columns, prefix: str) -> Columns:
+    pending = {w: list(nets) for w, nets in columns.items() if nets}
+    level = 0
+    while True:
+        widest = max((len(nets) for nets in pending.values()), default=0)
+        if widest <= 2:
+            return pending
+        next_columns: Columns = {}
+        for weight in sorted(pending):
+            nets = pending[weight]
+            index = 0
+            while len(nets) - index >= 3:
+                total, carry = carry_save_add(
+                    nl,
+                    nets[index],
+                    nets[index + 1],
+                    nets[index + 2],
+                    prefix="%s_l%d_w%d_%d_" % (prefix, level, weight, index),
+                )
+                add_to_column(next_columns, weight, total)
+                add_to_column(next_columns, weight + 1, carry)
+                index += 3
+            for net in nets[index:]:
+                add_to_column(next_columns, weight, net)
+        pending = next_columns
+        level += 1
+
+
+def dadda_heights(max_height: int) -> List[int]:
+    """The Dadda target-height sequence up to ``max_height``, descending."""
+    heights = [2]
+    while heights[-1] < max_height:
+        heights.append(int(heights[-1] * 3 // 2))
+    return list(reversed(heights[:-1])) if len(heights) > 1 else []
+
+
+def _reduce_dadda(nl: Netlist, columns: Columns, prefix: str) -> Columns:
+    pending = {w: list(nets) for w, nets in columns.items() if nets}
+    widest = max((len(nets) for nets in pending.values()), default=0)
+    for level, target in enumerate(dadda_heights(widest)):
+        work = {w: list(nets) for w, nets in pending.items()}
+        done: Columns = {}
+        if not work:
+            break
+        weight = min(work)
+        top = max(work)
+        while weight <= top:
+            nets = work.get(weight, [])
+            index = 0
+            # Compress just enough to land at the target height; carries
+            # land in the next column *of this stage*, so they count
+            # toward its target when we get there.
+            while len(nets) - index > target:
+                excess = len(nets) - index - target
+                if excess >= 2 and len(nets) - index >= 3:
+                    total, carry = carry_save_add(
+                        nl,
+                        nets[index],
+                        nets[index + 1],
+                        nets[index + 2],
+                        prefix="%s_d%d_w%d_%d_"
+                        % (prefix, level, weight, index),
+                    )
+                    index += 3
+                else:
+                    total, carry = carry_save_add(
+                        nl,
+                        nets[index],
+                        nets[index + 1],
+                        CONST0,
+                        prefix="%s_d%d_w%d_%d_"
+                        % (prefix, level, weight, index),
+                    )
+                    index += 2
+                if total != CONST0:
+                    nets.append(total)
+                if carry != CONST0:
+                    work.setdefault(weight + 1, []).append(carry)
+                    top = max(top, weight + 1)
+            remainder = nets[index:]
+            if remainder:
+                done[weight] = remainder
+            weight += 1
+        pending = done
+    return pending
+
+
+def columns_to_product(
+    nl: Netlist,
+    columns: Columns,
+    width: int,
+    prefix: str = "cpa",
+) -> List[int]:
+    """Carry-propagate the (<=2-deep) columns into ``width`` sum bits.
+
+    The final carry-propagate stage is a Kogge-Stone prefix adder, so a
+    tree multiplier's overall depth stays logarithmic.  Weights at or
+    above ``width`` are discarded (modulo arithmetic), which is exactly
+    what the Booth sign-extension algebra needs.
+    """
+    from .adders import kogge_stone_sum
+
+    reduced = reduce_columns(nl, columns, prefix=prefix + "_pre")
+    a_bits: List[int] = []
+    b_bits: List[int] = []
+    for weight in range(width):
+        nets = reduced.get(weight, [])
+        if len(nets) > 2:
+            raise NetlistError("column %d not fully reduced" % weight)
+        a_bits.append(nets[0] if len(nets) >= 1 else CONST0)
+        b_bits.append(nets[1] if len(nets) >= 2 else CONST0)
+    return kogge_stone_sum(nl, a_bits, b_bits, prefix=prefix)[:width]

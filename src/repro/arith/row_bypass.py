@@ -1,0 +1,161 @@
+"""Row-bypassing multiplier (Ohban et al. [23]; paper Fig. 3).
+
+When multiplicator bit ``mr_i`` is 0, every partial product of row ``i``
+is 0, so the row's full adders would only recombine the sum and carry
+vectors arriving from above.  The bypass skips that work:
+
+* tri-state gates freeze the row's full-adder inputs (the power saving);
+* a sum mux passes each upper sum bit straight down;
+* a *deferred-carry* mux hands each carry that the row would have
+  consumed to the row below unchanged -- the pair (sum, carry) at equal
+  weight carries the same arithmetic value whether or not the row
+  recombines it, so this is exact;
+* the one carry that has no slot below (the row's rightmost, at weight
+  ``i``) is *dropped* onto a correction rail and re-absorbed by an
+  extended final adder that spans the low product bits.
+
+The extended final adder is the "extra circuit" visible at the bottom of
+the paper's Fig. 3; it is also why the row-bypassing multiplier is larger
+than the column-bypassing one (Fig. 25) and why its critical path carries
+more multiplexers (Section IV-A).  Functional equivalence with the plain
+array multiplier is verified exhaustively in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import NetlistError
+from ..nets.cells import CellLibrary, STANDARD_LIBRARY
+from ..nets.netlist import CONST0, Netlist
+from .adders import carry_save_add
+from .array_mult import partial_products
+
+
+def row_bypass_multiplier(
+    width: int,
+    library: CellLibrary = STANDARD_LIBRARY,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Build a ``width x width`` row-bypassing multiplier.
+
+    Ports: ``md`` (multiplicand), ``mr`` (multiplicator, also the bypass
+    selects), ``p`` (product).  Cells of bypassed row ``i`` carry group
+    tag ``"rbr<i>"`` with ``mr_i`` as the group enable.
+    """
+    if width < 2:
+        raise NetlistError("multiplier width must be >= 2")
+    nl = Netlist(name or "rb-%dx%d" % (width, width), library)
+    md = nl.add_input_port("md", width)
+    mr = nl.add_input_port("mr", width)
+    pp = partial_products(nl, md, mr)
+
+    product: List[Optional[int]] = [None] * (2 * width)
+    sums: Dict[int, int] = {w: pp[0][w] for w in range(width)}
+    # Carries *into* the current row, by absolute weight (CIN(i, w)).
+    cin: Dict[int, int] = {}
+    # Dropped rightmost carries, re-absorbed by the extended final adder.
+    dropped: Dict[int, int] = {}
+    product[0] = sums[0]
+
+    for i in range(1, width):
+        select = mr[i]
+        group = "rbr%d" % i
+        nl.set_group_enable(group, select)
+        select_n = None
+
+        new_sums: Dict[int, int] = {}
+        fa_carries: Dict[int, int] = {}
+        for w in range(i, i + width):
+            sum_in = sums.get(w, CONST0)
+            carry_in = cin.get(w, CONST0)
+            prefix = "r%d_w%d_" % (i, w)
+
+            gated_sum = (
+                nl.tribuf(sum_in, select, name=prefix + "ts", group=group)
+                if sum_in != CONST0
+                else CONST0
+            )
+            gated_carry = (
+                nl.tribuf(carry_in, select, name=prefix + "tc", group=group)
+                if carry_in != CONST0
+                else CONST0
+            )
+            fa_sum, fa_carry = carry_save_add(
+                nl, pp[i][w - i], gated_sum, gated_carry, group=group,
+                prefix=prefix,
+            )
+            if fa_sum == sum_in:
+                new_sums[w] = sum_in
+            else:
+                new_sums[w] = nl.mux2(
+                    sum_in, fa_sum, select, name=prefix + "smux"
+                )
+            if fa_carry != CONST0:
+                fa_carries[w + 1] = fa_carry
+
+        # The carry at the row's rightmost weight has no slot below when
+        # the row is bypassed: divert it to the correction rail.
+        right_cin = cin.get(i, CONST0)
+        if right_cin != CONST0:
+            if select_n is None:
+                select_n = nl.inv(select, name="r%d_seln" % i)
+            dropped[i] = nl.and2(select_n, right_cin, name="r%d_drop" % i)
+
+        # Deferred-carry muxes: the row below sees either this row's
+        # computed carries (active) or the carries this row received
+        # (bypassed), at identical weights.
+        new_cin: Dict[int, int] = {}
+        for wp in range(i + 1, i + width + 1):
+            deferred = cin.get(wp, CONST0)
+            computed = fa_carries.get(wp, CONST0)
+            if deferred == CONST0 and computed == CONST0:
+                continue
+            if deferred == computed:
+                new_cin[wp] = deferred
+            else:
+                new_cin[wp] = nl.mux2(
+                    deferred, computed, select, name="r%d_w%d_cmux" % (i, wp)
+                )
+        product[i] = new_sums[i]
+        sums, cin = new_sums, new_cin
+
+    _extended_final_adder(nl, width, sums, cin, dropped, product)
+    nl.add_output_port("p", [net for net in product])
+    nl.validate()
+    return nl
+
+
+def _extended_final_adder(
+    nl: Netlist,
+    width: int,
+    sums: Dict[int, int],
+    cin: Dict[int, int],
+    dropped: Dict[int, int],
+    product: List[Optional[int]],
+) -> None:
+    """Carry-propagating last row extended over the low product bits.
+
+    Low half (weights ``1 .. width-1``): re-absorb the dropped carries
+    into the already-produced product bits.  High half (weights
+    ``width .. 2*width-2``): the usual sum+carry ripple.  The top bit
+    combines the final ripple carry with the leftmost deferred carry.
+    """
+    ripple = CONST0
+    for w in range(1, width):
+        product[w], ripple = carry_save_add(
+            nl, product[w], dropped.get(w, CONST0), ripple,
+            prefix="finlo_w%d_" % w,
+        )
+    for w in range(width, 2 * width - 1):
+        product[w], ripple = carry_save_add(
+            nl, sums.get(w, CONST0), cin.get(w, CONST0), ripple,
+            prefix="finhi_w%d_" % w,
+        )
+    top_carry = cin.get(2 * width - 1, CONST0)
+    if ripple == CONST0:
+        product[2 * width - 1] = top_carry
+    elif top_carry == CONST0:
+        product[2 * width - 1] = ripple
+    else:
+        product[2 * width - 1] = nl.xor2(ripple, top_carry, name="fin_top")

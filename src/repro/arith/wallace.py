@@ -1,0 +1,57 @@
+"""Wallace-tree multiplier.
+
+A classic fast-multiplier baseline: the partial-product AND plane feeds a
+logarithmic-depth carry-save reduction tree instead of the linear
+carry-save rows of the array multiplier (Fig. 1).  The paper's related
+work contrasts variable-latency designs against such tree multipliers;
+this implementation lets the benchmarks quantify the comparison on equal
+footing (same cell library, same timing engine).
+
+Note: this uses the straightforward column-wise greedy schedule, whose
+tail carries ripple across columns and cost extra levels; the
+:mod:`repro.arith.dadda` variant implements the height-targeted schedule
+and reaches the textbook logarithmic depth.  Both are exact.
+
+Wallace trees have a *much* flatter per-pattern delay distribution than
+the array -- almost every pattern exercises a near-critical path -- which
+is exactly why they are poor hosts for the paper's variable-latency
+technique (no cheap one-cycle majority to exploit).  The ablation bench
+``benchmarks/test_ablation_baselines_bench.py`` demonstrates this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import NetlistError
+from ..nets.cells import CellLibrary, STANDARD_LIBRARY
+from ..nets.netlist import Netlist
+from .array_mult import partial_products
+from .reduction import Columns, add_to_column, columns_to_product
+
+
+def wallace_multiplier(
+    width: int,
+    library: CellLibrary = STANDARD_LIBRARY,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Build a ``width x width`` unsigned Wallace-tree multiplier.
+
+    Ports: ``md``, ``mr`` in; ``p`` (``2*width`` bits) out.
+    """
+    if width < 2:
+        raise NetlistError("multiplier width must be >= 2")
+    nl = Netlist(name or "wallace-%dx%d" % (width, width), library)
+    md = nl.add_input_port("md", width)
+    mr = nl.add_input_port("mr", width)
+    pp = partial_products(nl, md, mr)
+
+    columns: Columns = {}
+    for i in range(width):
+        for j in range(width):
+            add_to_column(columns, i + j, pp[i][j])
+
+    product = columns_to_product(nl, columns, 2 * width, prefix="wal")
+    nl.add_output_port("p", product)
+    nl.validate()
+    return nl

@@ -1,0 +1,166 @@
+"""Technology and simulation configuration objects.
+
+The paper evaluates on a 32-nm high-k/metal-gate predictive technology model
+(PTM) at 125 degC with the ac reaction-diffusion (RD) BTI model of
+[24]-[26].  The PTM card itself is not redistributable, so
+:class:`Technology` carries the published headline constants of that node
+(supply, nominal threshold voltages, oxide thickness, activation energies)
+plus two calibration knobs:
+
+* ``time_unit_ns`` - the logical-effort delay unit, fitted once so the
+  16x16 array-multiplier critical path equals the paper's 1.32 ns.
+* ``bti_prefactor`` - the constant ``A`` of Eq. (2), fitted once so the
+  7-year critical-path drift of the 16x16 column-bypassing multiplier is
+  about 13% (paper Fig. 7).
+
+Both fits live in :mod:`repro.experiments.calibration`; the defaults below
+are the fitted values so that a fresh install reproduces the paper without
+re-running calibration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from .errors import ConfigError
+
+#: Boltzmann constant in eV/K.
+BOLTZMANN_EV = 8.617333262e-5
+
+#: Seconds in one (Julian) year; used to convert aging times.
+SECONDS_PER_YEAR = 365.25 * 24.0 * 3600.0
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """A 32-nm high-k/metal-gate technology description.
+
+    The defaults reproduce the paper's setup (Section IV): 32-nm high-k
+    PTM-like device constants, 125 degC junction temperature, and the RD
+    framework time exponent ``n = 1/6`` for H2 diffusion.
+    """
+
+    name: str = "ptm-hk-32nm"
+    #: Supply voltage in volts.
+    vdd: float = 0.9
+    #: Nominal pMOS threshold voltage magnitude in volts (NBTI victim).
+    vth_p: float = 0.30
+    #: Nominal nMOS threshold voltage in volts (PBTI victim).
+    vth_n: float = 0.29
+    #: Gate oxide (equivalent) thickness in metres.
+    tox: float = 1.2e-9
+    #: Junction temperature in kelvin (125 degC).
+    temperature: float = 398.15
+    #: RD framework time exponent (1/6 for H2 diffusion).
+    n_exponent: float = 1.0 / 6.0
+    #: Reaction activation energy in eV (paper: 0.12 eV).
+    ea: float = 0.12
+    #: Field acceleration reference in V/m (paper: 1.9-2.0 MV/cm).
+    e0: float = 1.95e8
+    #: Velocity-saturation exponent of the alpha-power delay law.
+    alpha_sat: float = 1.3
+    #: Calibrated Eq. (2) prefactor ``A`` (see module docstring).
+    bti_prefactor: float = 4.5874084e7
+    #: Effective V_DS / (alpha * (V_GS - V_th)) of Eq. (2)'s drain-bias
+    #: correction term (near-saturation operation).
+    vds_ratio: float = 0.1
+    #: PBTI severity relative to NBTI on this high-k node (paper cites
+    #: [2]-[4]: PBTI is *not* negligible at 32-nm high-k; near parity).
+    pbti_ratio: float = 0.9
+    #: Calibrated logical-effort delay unit in nanoseconds.
+    time_unit_ns: float = 0.010801964
+    #: Unit gate input capacitance in femtofarads (for the power model).
+    unit_cap_ff: float = 0.18
+    #: Inertial glitch-filtering factor of the transition-density power
+    #: model: the fraction of arriving glitch activity a gate propagates
+    #: (narrow pulses die inside the gate).
+    glitch_damping: float = 0.8
+    #: Leakage current scale per transistor in nanoamperes at nominal Vth.
+    leak_na: float = 4.0
+    #: Subthreshold swing factor n*kT/q in volts at ``temperature``.
+    subthreshold_swing: float = 1.35 * BOLTZMANN_EV * 398.15
+
+    def __post_init__(self):
+        if self.vdd <= 0:
+            raise ConfigError("vdd must be positive, got %r" % (self.vdd,))
+        if not 0 < self.vth_p < self.vdd:
+            raise ConfigError(
+                "vth_p must lie in (0, vdd), got %r" % (self.vth_p,)
+            )
+        if not 0 < self.vth_n < self.vdd:
+            raise ConfigError(
+                "vth_n must lie in (0, vdd), got %r" % (self.vth_n,)
+            )
+        if self.temperature <= 0:
+            raise ConfigError("temperature must be positive (kelvin)")
+        if not 0 < self.n_exponent < 1:
+            raise ConfigError("n_exponent must lie in (0, 1)")
+        if self.time_unit_ns <= 0:
+            raise ConfigError("time_unit_ns must be positive")
+
+    @property
+    def gate_overdrive_p(self) -> float:
+        """Fresh pMOS gate overdrive ``Vdd - |Vth_p|`` in volts."""
+        return self.vdd - self.vth_p
+
+    @property
+    def gate_overdrive_n(self) -> float:
+        """Fresh nMOS gate overdrive ``Vdd - Vth_n`` in volts."""
+        return self.vdd - self.vth_n
+
+    @property
+    def oxide_field(self) -> float:
+        """Gate electric field E_OX = (V_GS - V_th)/T_OX in V/m."""
+        return self.gate_overdrive_p / self.tox
+
+    def thermal_factor(self) -> float:
+        """The Arrhenius term exp(-Ea / kT) of Eq. (2)."""
+        return math.exp(-self.ea / (BOLTZMANN_EV * self.temperature))
+
+    def replace(self, **changes) -> "Technology":
+        """Return a copy with ``changes`` applied (frozen-dataclass helper)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of the cycle-accurate architecture simulation (Section III)."""
+
+    #: Razor penalty in cycles for a detected timing violation: one cycle
+    #: for the Razor flag plus two re-execution cycles (Section IV-B).
+    razor_penalty_cycles: int = 3
+    #: Aging-indicator observation window in operations (Section IV-C).
+    indicator_window: int = 100
+    #: Error threshold within a window that flips the aging indicator
+    #: (Section IV-C: 10 errors per 100 operations).
+    indicator_threshold: int = 10
+    #: Shadow-latch skew as a fraction of the cycle period.  The shadow
+    #: latch samples this much later than the main flip-flop; a late
+    #: arrival beyond the shadow edge would be undetectable, so two-cycle
+    #: execution must always fit (the architecture guarantees 2T covers
+    #: the critical path).
+    shadow_skew_fraction: float = 1.0
+    #: Whether the aging indicator may switch back to the relaxed judging
+    #: block when errors subside (the paper's indicator is monotone: once
+    #: aged, it stays on the stricter block).
+    indicator_sticky: bool = True
+
+    def __post_init__(self):
+        if self.razor_penalty_cycles < 1:
+            raise ConfigError("razor_penalty_cycles must be >= 1")
+        if self.indicator_window < 1:
+            raise ConfigError("indicator_window must be >= 1")
+        if not 0 <= self.indicator_threshold <= self.indicator_window:
+            raise ConfigError(
+                "indicator_threshold must lie in [0, indicator_window]"
+            )
+        if self.shadow_skew_fraction <= 0:
+            raise ConfigError("shadow_skew_fraction must be positive")
+
+
+#: The default technology instance used throughout the library.
+DEFAULT_TECHNOLOGY = Technology()
+
+#: The default architecture-simulation configuration.
+DEFAULT_SIM_CONFIG = SimulationConfig()

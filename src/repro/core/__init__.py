@@ -1,0 +1,55 @@
+"""The paper's contribution: adaptive hold logic and the aging-aware
+variable-latency multiplier architecture (Section III).
+
+* :mod:`repro.core.judging` -- the judging blocks: behavioral zero-count
+  predicates plus their structural netlists (popcount + comparator);
+* :mod:`repro.core.aging_indicator` -- the error-rate counter that flips
+  the AHL to the stricter judging block;
+* :mod:`repro.core.ahl` -- the adaptive hold logic assembling both;
+* :mod:`repro.core.architecture` -- the full architecture of Fig. 8:
+  bypassing multiplier + Razor output bank + AHL, simulated
+  cycle-accurately over pattern streams at any aging point;
+* :mod:`repro.core.baselines` -- fixed-latency baselines (AM, FLCB,
+  FLRB) measured consistently;
+* :mod:`repro.core.stats` -- latency/error reports.
+"""
+
+from .adder_architecture import AgingAwareAdder
+from .aging_indicator import AgingIndicator
+from .ahl import AdaptiveHoldLogic, ahl_netlist
+from .architecture import AgingAwareMultiplier
+from .baselines import FixedLatencyDesign, build_multiplier
+from .judging import JudgingBlock, judging_netlist, popcount_nets
+from .selector import OperatingPoint, SelectionResult, select_operating_point
+from .stats import ArchitectureRunResult, LatencyReport
+from .structural import StructuralArchitecture, validate_against_behavioral
+from .throughput import (
+    ThroughputReport,
+    architecture_service_times,
+    max_sustainable_rate,
+    simulate_queue,
+)
+
+__all__ = [
+    "AdaptiveHoldLogic",
+    "AgingAwareAdder",
+    "AgingAwareMultiplier",
+    "AgingIndicator",
+    "ArchitectureRunResult",
+    "FixedLatencyDesign",
+    "JudgingBlock",
+    "LatencyReport",
+    "OperatingPoint",
+    "SelectionResult",
+    "StructuralArchitecture",
+    "ThroughputReport",
+    "architecture_service_times",
+    "max_sustainable_rate",
+    "select_operating_point",
+    "simulate_queue",
+    "validate_against_behavioral",
+    "ahl_netlist",
+    "build_multiplier",
+    "judging_netlist",
+    "popcount_nets",
+]

@@ -1,0 +1,118 @@
+"""Adaptive hold logic (Section III-A, Fig. 12).
+
+The AHL bundles two judging blocks -- Skip-``n`` and Skip-``n+1`` -- a
+mux steered by the aging indicator, and the gating flip-flop that stalls
+the input registers for one cycle on two-cycle patterns.  Behaviorally
+the class below makes the one/two-cycle decision per pattern; the
+structural netlist (:func:`ahl_netlist`) exists for the Fig. 25 area
+accounting and for inspection.
+
+A *traditional* variable-latency design (T-VLCB / T-VLRB in Figs. 19-24)
+is the same hold logic without adaptivity: construct with
+``adaptive=False`` and only the Skip-``n`` block is ever consulted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_SIM_CONFIG, SimulationConfig
+from ..errors import ConfigError
+from ..nets.cells import CellLibrary, STANDARD_LIBRARY
+from ..nets.netlist import Netlist
+from .aging_indicator import AgingIndicator
+from .judging import JudgingBlock, compare_ge_const, judging_netlist, popcount_nets
+
+
+class AdaptiveHoldLogic:
+    """Behavioral AHL: decides one- vs two-cycle execution per pattern."""
+
+    def __init__(
+        self,
+        width: int,
+        skip: int,
+        config: SimulationConfig = DEFAULT_SIM_CONFIG,
+        adaptive: bool = True,
+    ):
+        if skip + 1 > width:
+            raise ConfigError(
+                "skip=%d leaves no room for the stricter Skip-%d block in "
+                "a %d-bit operand" % (skip, skip + 1, width)
+            )
+        self.width = width
+        self.skip = skip
+        self.adaptive = adaptive
+        self.config = config
+        self.block_relaxed = JudgingBlock(width, skip)
+        self.block_strict = JudgingBlock(width, skip + 1)
+        self.indicator = AgingIndicator(config)
+
+    @property
+    def active_block(self) -> JudgingBlock:
+        """The judging block the mux currently selects."""
+        if self.adaptive and self.indicator.aged:
+            return self.block_strict
+        return self.block_relaxed
+
+    def decide(self, operands) -> np.ndarray:
+        """One-cycle flags for a batch of operands under the current state.
+
+        The batch must not straddle an indicator window (the architecture
+        simulation feeds exactly one window at a time); the indicator is
+        *not* updated here -- call :meth:`observe` with the Razor
+        outcome afterwards.
+        """
+        return self.active_block.one_cycle(operands)
+
+    def observe(self, num_ops: int, num_errors: int) -> None:
+        """Report a window's Razor error count back to the indicator."""
+        self.indicator.record_window(num_ops, num_errors)
+
+    def reset(self) -> None:
+        self.indicator.reset()
+
+
+def ahl_netlist(
+    width: int,
+    skip: int,
+    library: CellLibrary = STANDARD_LIBRARY,
+    name: Optional[str] = None,
+) -> Tuple[Netlist, int]:
+    """Structural AHL for area accounting.
+
+    Returns ``(netlist, sequential_bits)``: the combinational netlist
+    (shared popcount feeding both threshold comparators, the selection
+    mux and the gating OR of Fig. 12) and the number of flip-flop bits
+    the AHL needs on top (gating DFF, aging-indicator flag, error and
+    operation counters sized by the indicator window).
+    """
+    JudgingBlock(width, skip + 1)  # validate both thresholds fit
+    nl = Netlist(name or "ahl-%d-skip%d" % (width, skip), library)
+    x = nl.add_input_port("x", width)
+    aging = nl.add_input_port("aging", 1)[0]
+    q_state = nl.add_input_port("q", 1)[0]
+
+    inverted = [nl.inv(bit, name="zinv%d" % i) for i, bit in enumerate(x)]
+    zeros = popcount_nets(nl, inverted)
+    relaxed = compare_ge_const(nl, zeros, skip)
+    strict = compare_ge_const(nl, zeros, skip + 1)
+    chosen = nl.mux2(relaxed, strict, aging, name="block_mux")
+    gating = nl.or2(chosen, q_state, name="gate_or")
+    nl.add_output_port("one_cycle", [chosen])
+    nl.add_output_port("gating_n", [gating])
+    nl.validate()
+
+    window_bits = max(1, math.ceil(math.log2(DEFAULT_SIM_CONFIG.indicator_window + 1)))
+    sequential_bits = (
+        1  # gating D flip-flop
+        + 1  # aging-indicator output flag
+        + window_bits  # error counter
+        + window_bits  # operation counter
+    )
+    return nl, sequential_bits
+
+
+__all__ = ["AdaptiveHoldLogic", "ahl_netlist", "judging_netlist"]

@@ -1,0 +1,301 @@
+"""The aging-aware variable-latency multiplier architecture (Fig. 8).
+
+One :class:`AgingAwareMultiplier` bundles
+
+* a column- or row-bypassing multiplier netlist,
+* ``2m`` Razor flip-flops on the product (:class:`repro.razor.RazorBank`),
+* the adaptive hold logic (:class:`repro.core.ahl.AdaptiveHoldLogic`),
+* an aging model hooked to the netlist
+  (:class:`repro.aging.AgedCircuitFactory`),
+
+and executes pattern streams cycle-accurately:
+
+1. the AHL inspects the judged operand's zero count and declares the
+   pattern one- or two-cycle;
+2. the compiled circuit supplies the pattern's true path delay;
+3. a one-cycle pattern whose delay exceeds the cycle period raises a
+   Razor error and is re-executed, costing
+   :attr:`~repro.config.SimulationConfig.razor_penalty_cycles` extra
+   cycles (1 detection + 2 re-execution);
+4. every :attr:`~repro.config.SimulationConfig.indicator_window`
+   operations the aging indicator evaluates the error rate and, past the
+   threshold, permanently switches the AHL to the Skip-(n+1) block
+   (adaptive designs only).
+
+Two-cycle execution covers any pattern whose delay fits ``2T`` -- the
+paper's operating assumption in its preferred cycle-period ranges.  When
+the clock is pushed below that (the left edge of Figs. 13-18), a pattern
+can exceed even the two-cycle budget; such an operation cannot succeed by
+plain re-execution, so the model charges it a *slow retry*:
+``razor_penalty + ceil(delay / T)`` cycles (detection plus a multi-cycle
+fallback issue).  This is what turns the latency curves back up at short
+cycle periods and produces the paper's preferred-region shape; the report
+tracks these events separately (``deep_retry_ops``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..aging.degradation import AgedCircuitFactory
+from ..arith.reference import count_zeros, golden_products
+from ..config import (
+    DEFAULT_SIM_CONFIG,
+    DEFAULT_TECHNOLOGY,
+    SimulationConfig,
+    Technology,
+)
+from ..errors import ConfigError, SimulationError
+from ..nets.area import AreaReport, area_report
+from ..nets.netlist import Netlist
+from ..razor.flipflop import RazorBank
+from ..timing.sta import StaticTiming
+from .ahl import AdaptiveHoldLogic, ahl_netlist
+from .baselines import build_multiplier
+from .stats import ArchitectureRunResult, LatencyReport
+
+
+@dataclasses.dataclass
+class AgingAwareMultiplier:
+    """The proposed architecture: bypassing multiplier + Razor + AHL.
+
+    Build one with :meth:`build`; drive it with :meth:`run_patterns` or
+    :meth:`run_random`.
+    """
+
+    netlist: Netlist
+    kind: str
+    width: int
+    skip: int
+    cycle_ns: float
+    factory: AgedCircuitFactory
+    technology: Technology = DEFAULT_TECHNOLOGY
+    config: SimulationConfig = DEFAULT_SIM_CONFIG
+    adaptive: bool = True
+    name: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("column", "row"):
+            raise ConfigError(
+                "kind must be 'column' or 'row', got %r" % (self.kind,)
+            )
+        if self.cycle_ns <= 0:
+            raise ConfigError("cycle_ns must be positive")
+        if not self.name:
+            prefix = "A-VL" if self.adaptive else "T-VL"
+            tag = "CB" if self.kind == "column" else "RB"
+            self.name = "%s%s-%d skip%d" % (prefix, tag, self.width, self.skip)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        width: int,
+        kind: str = "column",
+        skip: Optional[int] = None,
+        cycle_ns: Optional[float] = None,
+        adaptive: bool = True,
+        technology: Technology = DEFAULT_TECHNOLOGY,
+        config: SimulationConfig = DEFAULT_SIM_CONFIG,
+        characterize_patterns: int = 2000,
+        characterize_seed: int = 2014,
+        name: str = "",
+    ) -> "AgingAwareMultiplier":
+        """Construct the architecture around a freshly generated netlist.
+
+        Args:
+            width: Operand width ``m`` (the paper uses 16 and 32).
+            kind: ``"column"`` or ``"row"`` bypassing.
+            skip: Judging threshold ``n`` (defaults to ``width//2 - 1``,
+                the paper's Skip-7 / Skip-15 working points).
+            cycle_ns: Clock period; defaults to half the fresh critical
+                path (a safe starting point inside the preferred range).
+            adaptive: False builds the traditional variable-latency
+                design (single judging block, Figs. 19-24 baselines).
+        """
+        if kind not in ("column", "row"):
+            raise ConfigError("kind must be 'column' or 'row'")
+        netlist = build_multiplier(width, kind)
+        factory = AgedCircuitFactory.characterize(
+            netlist,
+            technology,
+            num_patterns=characterize_patterns,
+            seed=characterize_seed,
+        )
+        if skip is None:
+            skip = width // 2 - 1
+        if cycle_ns is None:
+            cycle_ns = 0.5 * StaticTiming(netlist, technology).critical_delay
+        return cls(
+            netlist=netlist,
+            kind=kind,
+            width=width,
+            skip=skip,
+            cycle_ns=cycle_ns,
+            factory=factory,
+            technology=technology,
+            config=config,
+            adaptive=adaptive,
+            name=name,
+        )
+
+    def with_cycle(self, cycle_ns: float) -> "AgingAwareMultiplier":
+        """A sibling architecture at a different clock period (shares the
+        netlist, stress profile and compiled-circuit cache)."""
+        return dataclasses.replace(self, cycle_ns=cycle_ns, name="")
+
+    def with_skip(self, skip: int) -> "AgingAwareMultiplier":
+        """A sibling architecture with a different judging threshold."""
+        return dataclasses.replace(self, skip=skip, name="")
+
+    # ------------------------------------------------------------------
+
+    def judged_operand(self, md: np.ndarray, mr: np.ndarray) -> np.ndarray:
+        """The operand the AHL inspects: md (column) or mr (row)."""
+        return md if self.kind == "column" else mr
+
+    def critical_path_ns(self, years: float = 0.0) -> float:
+        """Aged worst-case combinational delay."""
+        scale = None if years == 0 else self.factory.delay_scale(years)
+        return StaticTiming(self.netlist, self.technology, scale).critical_delay
+
+    def run_random(
+        self,
+        num_patterns: int,
+        seed: int = 1,
+        years: float = 0.0,
+        check_golden: bool = False,
+    ) -> ArchitectureRunResult:
+        """Run uniformly random operands (the paper's workload)."""
+        rng = np.random.default_rng(seed)
+        high = 1 << self.width
+        md = rng.integers(0, high, num_patterns, dtype=np.uint64)
+        mr = rng.integers(0, high, num_patterns, dtype=np.uint64)
+        return self.run_patterns(md, mr, years=years, check_golden=check_golden)
+
+    def run_patterns(
+        self,
+        md: np.ndarray,
+        mr: np.ndarray,
+        years: float = 0.0,
+        check_golden: bool = False,
+        stream=None,
+    ) -> ArchitectureRunResult:
+        """Cycle-accurate execution of a pattern stream at age ``years``.
+
+        ``stream`` may carry a pre-computed
+        :class:`~repro.timing.engine.StreamResult` for exactly these
+        operands at exactly this age -- the cycle-period sweeps reuse one
+        circuit simulation across every clock setting, since the path
+        delays do not depend on the clock.
+        """
+        md = np.asarray(md, dtype=np.uint64)
+        mr = np.asarray(mr, dtype=np.uint64)
+        if md.shape != mr.shape or md.ndim != 1 or md.size == 0:
+            raise SimulationError("md and mr must be equal-length 1-D arrays")
+
+        if stream is None:
+            circuit = self.factory.circuit(years)
+            stream = circuit.run({"md": md, "mr": mr})
+        elif stream.num_patterns != md.size:
+            raise SimulationError(
+                "precomputed stream has %d patterns, operands have %d"
+                % (stream.num_patterns, md.size)
+            )
+        delays = stream.delays
+        zeros = count_zeros(self.judged_operand(md, mr), self.width)
+
+        skew_ns = self.cycle_ns * self.config.shadow_skew_fraction
+        razor = RazorBank(self.cycle_ns, skew_ns)
+        late = razor.errors(delays)
+        # Beyond the two-cycle budget: plain re-execution cannot finish
+        # either; these operations fall back to a slow multi-cycle retry.
+        over_budget = delays > 2.0 * self.cycle_ns
+        retry_cycles = self.config.razor_penalty_cycles + np.ceil(
+            delays / self.cycle_ns
+        )
+
+        ahl = AdaptiveHoldLogic(
+            self.width, self.skip, self.config, adaptive=self.adaptive
+        )
+
+        n = md.size
+        window = self.config.indicator_window
+        penalty = self.config.razor_penalty_cycles
+        cycles = np.empty(n)
+        one_cycle = np.empty(n, dtype=bool)
+        errors = np.zeros(n, dtype=bool)
+        window_errors = []
+        indicator_trace = []
+        undetectable = 0
+        deep_retries = 0
+
+        for start in range(0, n, window):
+            stop = min(start + window, n)
+            flags = zeros[start:stop] >= ahl.active_block.skip
+            window_late = late[start:stop]
+            window_over = over_budget[start:stop]
+            err = (flags & window_late) | (~flags & window_over)
+            base = np.where(flags, 1.0 + (flags & window_late) * penalty, 2.0)
+            cycles[start:stop] = np.where(
+                window_over, retry_cycles[start:stop], base
+            )
+            one_cycle[start:stop] = flags
+            errors[start:stop] = err
+            undetectable += int((flags & window_over).sum())
+            deep_retries += int(window_over.sum())
+            num_errors = int(err.sum())
+            ahl.observe(stop - start, num_errors)
+            window_errors.append(num_errors)
+            indicator_trace.append(ahl.indicator.aged)
+
+        report = LatencyReport(
+            name=self.name,
+            cycle_ns=self.cycle_ns,
+            years=years,
+            num_ops=n,
+            total_cycles=float(cycles.sum()),
+            one_cycle_ops=int(one_cycle.sum()),
+            two_cycle_ops=int((~one_cycle).sum()),
+            error_count=int(errors.sum()),
+            undetectable_count=undetectable,
+            window_errors=window_errors,
+            indicator_trace=indicator_trace,
+            indicator_aged_at=ahl.indicator.aged_at_op,
+            deep_retry_ops=deep_retries,
+        )
+        golden_ok = None
+        if check_golden:
+            golden_ok = bool(
+                np.array_equal(
+                    stream.outputs["p"], golden_products(md, mr, self.width)
+                )
+            )
+        return ArchitectureRunResult(
+            report=report,
+            delays=delays,
+            products=stream.outputs["p"],
+            one_cycle=one_cycle,
+            errors=errors,
+            mean_switched_caps=stream.mean_switched_caps(),
+            golden_ok=golden_ok,
+        )
+
+    # ------------------------------------------------------------------
+
+    def area(self) -> AreaReport:
+        """Fig. 25 accounting: core + input DFFs + Razor bank + AHL."""
+        ahl_nl, sequential_bits = ahl_netlist(self.width, self.skip)
+        return area_report(
+            self.netlist,
+            name=self.name,
+            input_ff_bits=2 * self.width,
+            output_ff_bits=0,
+            razor_bits=2 * self.width,
+            ahl_netlist=ahl_nl,
+            extra_dff_bits=sequential_bits,
+        )

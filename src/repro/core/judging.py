@@ -1,0 +1,133 @@
+"""Judging blocks: the AHL's one-cycle/two-cycle predictors.
+
+Behaviorally (Section III-A): a *Skip-n* judging block outputs 1 -- the
+pattern may execute in one cycle -- when the number of zeros in the
+selected operand (multiplicand for column bypassing, multiplicator for
+row bypassing) is at least ``n``.
+
+Structurally, the block is a popcount tree over the inverted operand
+bits followed by a greater-or-equal comparator against the constant
+threshold; :func:`judging_netlist` emits that circuit so the Fig. 25
+area accounting charges the AHL its real transistor cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..arith.adders import carry_save_add
+from ..arith.reference import count_zeros
+from ..errors import ConfigError
+from ..nets.cells import CellLibrary, STANDARD_LIBRARY
+from ..nets.netlist import CONST0, CONST1, Netlist
+
+Operands = Union[Sequence[int], np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class JudgingBlock:
+    """Behavioral Skip-``skip`` judging block over ``width``-bit operands."""
+
+    width: int
+    skip: int
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise ConfigError("width must be >= 1")
+        if not 0 <= self.skip <= self.width:
+            raise ConfigError(
+                "skip must lie in [0, width]; got skip=%d width=%d"
+                % (self.skip, self.width)
+            )
+
+    def one_cycle(self, operands: Operands) -> np.ndarray:
+        """True where the operand has >= ``skip`` zeros (one-cycle)."""
+        return count_zeros(operands, self.width) >= self.skip
+
+    def one_cycle_ratio(self, operands: Operands) -> float:
+        """Fraction of one-cycle patterns in a stream (Tables I-II)."""
+        flags = self.one_cycle(operands)
+        return float(flags.mean()) if flags.size else 0.0
+
+
+def popcount_nets(nl: Netlist, bits: Sequence[int]) -> List[int]:
+    """Structural population count: returns count bits, LSB first.
+
+    Pairwise tree of ripple additions built from
+    :func:`repro.arith.adders.carry_save_add`; constant inputs fold away.
+    """
+    numbers: List[List[int]] = [[bit] for bit in bits]
+    if not numbers:
+        return [CONST0]
+    while len(numbers) > 1:
+        paired: List[List[int]] = []
+        for k in range(0, len(numbers) - 1, 2):
+            paired.append(_ripple_add(nl, numbers[k], numbers[k + 1]))
+        if len(numbers) % 2:
+            paired.append(numbers[-1])
+        numbers = paired
+    return numbers[0]
+
+
+def _ripple_add(nl: Netlist, a: List[int], b: List[int]) -> List[int]:
+    """Add two little-endian nets vectors; result one bit wider."""
+    width = max(len(a), len(b))
+    carry = CONST0
+    out: List[int] = []
+    for i in range(width):
+        x = a[i] if i < len(a) else CONST0
+        y = b[i] if i < len(b) else CONST0
+        total, carry = carry_save_add(nl, x, y, carry)
+        out.append(total)
+    out.append(carry)
+    return out
+
+
+def compare_ge_const(
+    nl: Netlist, value_bits: Sequence[int], threshold: int
+) -> int:
+    """Net that is 1 iff the little-endian ``value_bits`` >= ``threshold``.
+
+    Implemented as the carry-out of ``value + (2^k - threshold)``; the
+    constant operand folds into half adders.
+    """
+    if threshold < 0:
+        raise ConfigError("threshold must be non-negative")
+    if threshold == 0:
+        return CONST1
+    k = len(value_bits)
+    if threshold > (1 << k):
+        return CONST0
+    complement = (1 << k) - threshold
+    carry = CONST0
+    for i, bit in enumerate(value_bits):
+        const_bit = CONST1 if (complement >> i) & 1 else CONST0
+        _, carry = carry_save_add(nl, bit, const_bit, carry)
+    return carry
+
+
+def judging_netlist(
+    width: int,
+    skip: int,
+    library: CellLibrary = STANDARD_LIBRARY,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Structural Skip-``skip`` judging block.
+
+    Ports: ``x`` (the judged operand) in, ``one_cycle`` (1 bit) out.
+    """
+    block = JudgingBlock(width, skip)  # validates the parameters
+    nl = Netlist(name or "judging-%d-skip%d" % (width, skip), library)
+    x = nl.add_input_port("x", width)
+    inverted = [nl.inv(bit, name="zinv%d" % i) for i, bit in enumerate(x)]
+    zeros = popcount_nets(nl, inverted)
+    flag = compare_ge_const(nl, zeros, block.skip)
+    if flag in (CONST0, CONST1):
+        # Degenerate thresholds still need a driven output.
+        flag = nl.buf(flag, name="const_flag")
+    nl.add_output_port("one_cycle", [flag])
+    nl.validate()
+    return nl

@@ -1,0 +1,140 @@
+"""Operating-point selection (paper Section IV-A).
+
+The paper observes that each skip number has a *preferred cycle-period
+range* and that a system should "match the system cycle period with the
+multiplier's preferred cycle period", adjusting the skip number when it
+cannot.  :func:`select_operating_point` automates that design-space
+walk: it sweeps candidate (skip, cycle) pairs on a calibration workload
+and returns the feasible point with the lowest average latency, where
+*feasible* means no operation ever exceeded the two-cycle budget (no
+slow retries and no Razor-undetectable violations), optionally at a
+target lifetime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .architecture import AgingAwareMultiplier
+from .stats import LatencyReport
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatingPoint:
+    """One evaluated (skip, cycle) candidate."""
+
+    skip: int
+    cycle_ns: float
+    average_latency_ns: float
+    error_rate: float
+    feasible: bool
+    report: LatencyReport
+
+    def __str__(self):
+        return (
+            "skip=%d T=%.3f ns -> %.3f ns avg (errors %.2f%%, %s)"
+            % (
+                self.skip,
+                self.cycle_ns,
+                self.average_latency_ns,
+                100 * self.error_rate,
+                "feasible" if self.feasible else "INFEASIBLE",
+            )
+        )
+
+
+@dataclasses.dataclass
+class SelectionResult:
+    """Outcome of an operating-point search."""
+
+    best: Optional[OperatingPoint]
+    candidates: Tuple[OperatingPoint, ...]
+
+    def feasible_candidates(self) -> Tuple[OperatingPoint, ...]:
+        return tuple(c for c in self.candidates if c.feasible)
+
+    def preferred_range(self, skip: int) -> Tuple[float, ...]:
+        """Feasible cycle periods for one skip, sorted ascending."""
+        return tuple(
+            sorted(
+                c.cycle_ns
+                for c in self.candidates
+                if c.skip == skip and c.feasible
+            )
+        )
+
+
+def select_operating_point(
+    architecture: AgingAwareMultiplier,
+    skips: Optional[Sequence[int]] = None,
+    cycles_ns: Optional[Sequence[float]] = None,
+    num_patterns: int = 4000,
+    seed: int = 2024,
+    years: float = 0.0,
+    max_error_rate: float = 1.0,
+) -> SelectionResult:
+    """Search (skip, cycle) pairs for the lowest feasible latency.
+
+    Args:
+        architecture: A built architecture; siblings with other skips
+            and cycles are derived from it (sharing its aging factory).
+        skips: Candidate judging thresholds; defaults to the
+            architecture's skip and its two stricter neighbours.
+        cycles_ns: Candidate clock periods; defaults to a grid between
+            30% and 80% of the (aged) critical path.
+        num_patterns: Calibration workload size.
+        years: Lifetime point to optimize for -- selecting at the target
+            lifetime (e.g. 7 years) yields clocks that stay feasible
+            after aging, the paper's reliability goal.
+        max_error_rate: Optional additional feasibility bound on the
+            Razor error rate (1.0 disables it).
+    """
+    if num_patterns < 1:
+        raise ConfigError("num_patterns must be >= 1")
+    if skips is None:
+        base = architecture.skip
+        skips = [s for s in (base, base + 1, base + 2)
+                 if s + 1 <= architecture.width]
+    if cycles_ns is None:
+        critical = architecture.critical_path_ns(years)
+        cycles_ns = np.round(np.linspace(0.3, 0.8, 11) * critical, 4)
+
+    rng = np.random.default_rng(seed)
+    high = 1 << architecture.width
+    md = rng.integers(0, high, num_patterns, dtype=np.uint64)
+    mr = rng.integers(0, high, num_patterns, dtype=np.uint64)
+    # One circuit simulation serves every candidate.
+    stream = architecture.factory.circuit(years).run({"md": md, "mr": mr})
+
+    candidates = []
+    for skip in skips:
+        sibling_skip = architecture.with_skip(skip)
+        for cycle in cycles_ns:
+            sibling = sibling_skip.with_cycle(float(cycle))
+            report = sibling.run_patterns(
+                md, mr, years=years, stream=stream
+            ).report
+            feasible = (
+                report.deep_retry_ops == 0
+                and report.undetectable_count == 0
+                and report.error_rate <= max_error_rate
+            )
+            candidates.append(
+                OperatingPoint(
+                    skip=skip,
+                    cycle_ns=float(cycle),
+                    average_latency_ns=report.average_latency_ns,
+                    error_rate=report.error_rate,
+                    feasible=feasible,
+                    report=report,
+                )
+            )
+    feasible = [c for c in candidates if c.feasible]
+    best = min(
+        feasible, key=lambda c: c.average_latency_ns, default=None
+    )
+    return SelectionResult(best=best, candidates=tuple(candidates))

@@ -1,0 +1,171 @@
+"""System-level throughput (the introduction's motivation).
+
+"The throughput of these applications depends on multipliers, and if
+the multipliers are too slow, the performance of entire circuits will
+be reduced."  This module closes that loop: a producer emits multiply
+jobs at a configurable rate into a bounded queue drained by one
+multiplier, and the simulation reports sustained throughput, queue
+occupancy and job latency (waiting + service).
+
+For a *fixed-latency* unit the service time is constant (the critical
+path); for the *variable-latency* unit it is the per-job cycle count
+from the cycle-accurate architecture run -- so the paper's average-
+latency win translates directly into sustainable arrival rate, and the
+tail of Razor re-executions shows up as queueing jitter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError, SimulationError
+from .architecture import AgingAwareMultiplier
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputReport:
+    """Queueing statistics of one simulated run."""
+
+    num_jobs: int
+    #: Mean jobs completed per nanosecond.
+    throughput_per_ns: float
+    #: Mean total job latency (wait + service) in ns.
+    mean_latency_ns: float
+    #: 95th-percentile total job latency in ns.
+    p95_latency_ns: float
+    #: Mean queue occupancy sampled at arrival instants.
+    mean_queue_depth: float
+    #: Jobs dropped because the bounded queue was full.
+    dropped_jobs: int
+    #: Fraction of time the multiplier was busy.
+    utilization: float
+
+    @property
+    def accepted_jobs(self) -> int:
+        return self.num_jobs - self.dropped_jobs
+
+
+def simulate_queue(
+    service_times_ns: np.ndarray,
+    arrival_period_ns: float,
+    queue_capacity: int = 64,
+) -> ThroughputReport:
+    """Single-server FIFO queue with deterministic arrivals.
+
+    Args:
+        service_times_ns: Per-job service time (cycle-accurate, from
+            the architecture run or a constant for fixed latency).
+        arrival_period_ns: Time between job arrivals.
+        queue_capacity: Jobs that may wait; arrivals beyond it drop.
+    """
+    service = np.asarray(service_times_ns, dtype=float)
+    if service.ndim != 1 or service.size == 0:
+        raise SimulationError("service_times_ns must be a non-empty vector")
+    if np.any(service <= 0):
+        raise SimulationError("service times must be positive")
+    if arrival_period_ns <= 0:
+        raise ConfigError("arrival_period_ns must be positive")
+    if queue_capacity < 1:
+        raise ConfigError("queue_capacity must be >= 1")
+
+    n = service.size
+    completions = []
+    latencies = []
+    depths = []
+    dropped = 0
+    server_free_at = 0.0
+    # Completion times of jobs still in system, for queue depth probes.
+    in_system: list = []
+    busy_ns = 0.0
+
+    for k in range(n):
+        arrival = k * arrival_period_ns
+        in_system = [t for t in in_system if t > arrival]
+        depths.append(len(in_system))
+        if len(in_system) >= queue_capacity:
+            dropped += 1
+            continue
+        start = max(arrival, server_free_at)
+        finish = start + service[k]
+        busy_ns += service[k]
+        server_free_at = finish
+        in_system.append(finish)
+        completions.append(finish)
+        latencies.append(finish - arrival)
+
+    if not completions:
+        return ThroughputReport(
+            num_jobs=n,
+            throughput_per_ns=0.0,
+            mean_latency_ns=0.0,
+            p95_latency_ns=0.0,
+            mean_queue_depth=float(np.mean(depths)) if depths else 0.0,
+            dropped_jobs=dropped,
+            utilization=0.0,
+        )
+    horizon = max(completions)
+    latencies = np.asarray(latencies)
+    return ThroughputReport(
+        num_jobs=n,
+        throughput_per_ns=len(completions) / horizon,
+        mean_latency_ns=float(latencies.mean()),
+        p95_latency_ns=float(np.quantile(latencies, 0.95)),
+        mean_queue_depth=float(np.mean(depths)),
+        dropped_jobs=dropped,
+        utilization=float(busy_ns / horizon),
+    )
+
+
+def architecture_service_times(
+    architecture: AgingAwareMultiplier,
+    md: np.ndarray,
+    mr: np.ndarray,
+    years: float = 0.0,
+    stream=None,
+) -> np.ndarray:
+    """Per-job service times (ns) from a cycle-accurate run."""
+    result = architecture.run_patterns(md, mr, years=years, stream=stream)
+    report = result.report
+    penalty = architecture.config.razor_penalty_cycles
+    cycles = np.where(
+        result.one_cycle, 1.0 + result.errors * penalty, 2.0
+    )
+    over = result.delays > 2.0 * architecture.cycle_ns
+    cycles = np.where(
+        over,
+        penalty + np.ceil(result.delays / architecture.cycle_ns),
+        cycles,
+    )
+    service = cycles * architecture.cycle_ns
+    # Consistency with the latency report.
+    if abs(service.sum() - report.total_cycles * architecture.cycle_ns) > 1e-6:
+        raise SimulationError("service-time reconstruction mismatch")
+    return service
+
+
+def max_sustainable_rate(
+    service_times_ns: np.ndarray,
+    queue_capacity: int = 64,
+    drop_budget: float = 0.001,
+    resolution: int = 24,
+) -> float:
+    """Largest arrival rate (jobs/ns) with drops below ``drop_budget``.
+
+    Bisects the arrival period; the result converges to the inverse of
+    the mean service time for well-behaved service distributions (with
+    a small guard band for burst re-executions).
+    """
+    service = np.asarray(service_times_ns, dtype=float)
+    mean = float(service.mean())
+    lo, hi = mean * 0.5, mean * 4.0  # period bracket
+    for _ in range(resolution):
+        mid = 0.5 * (lo + hi)
+        report = simulate_queue(service, mid, queue_capacity)
+        if report.dropped_jobs <= drop_budget * service.size:
+            hi = mid  # can go faster (shorter period)
+        else:
+            lo = mid
+    return 1.0 / hi

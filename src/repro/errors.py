@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still distinguishing the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (bad net id, dangling pin, ...)."""
+
+
+class CombinationalLoopError(NetlistError):
+    """The netlist contains a combinational cycle and cannot be levelized."""
+
+    def __init__(self, cycle_members):
+        self.cycle_members = list(cycle_members)
+        super().__init__(
+            "combinational loop through cells: %s" % (self.cycle_members,)
+        )
+
+
+class UnknownCellError(NetlistError):
+    """A cell type name is not present in the cell library."""
+
+
+class SimulationError(ReproError):
+    """A simulation was configured or driven inconsistently."""
+
+
+class CalibrationError(ReproError):
+    """A calibration target could not be met."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (bad width, zero count, ...)."""

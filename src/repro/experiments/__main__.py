@@ -1,0 +1,78 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments                # list experiments
+    python -m repro.experiments fig05          # run one
+    python -m repro.experiments all            # run everything
+    python -m repro.experiments all --scale .1 # quick pass (10% patterns)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .context import ExperimentContext
+from .registry import REGISTRY, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (see DESIGN.md) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="pattern-count multiplier (1.0 = paper counts)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="also write a markdown reproduction report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.experiment:
+        print("available experiments:")
+        for name in sorted(REGISTRY):
+            print("  %s" % name)
+        return 0
+
+    context = ExperimentContext(scale=args.scale)
+    names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    report = None
+    if args.report:
+        from ..analysis.report import ReproductionReport
+
+        report = ReproductionReport(
+            title="Aging-aware multiplier reproduction (scale %.2f)"
+            % args.scale
+        )
+    for name in names:
+        start = time.time()
+        result = run_experiment(name, context)
+        elapsed = time.time() - start
+        print("=" * 72)
+        print("%s  (%.1f s)" % (name, elapsed))
+        print("=" * 72)
+        print(result.render())
+        print()
+        if report is not None:
+            report.add_section(name, result.render(), elapsed)
+    if report is not None:
+        report.write(args.report)
+        print("report written to %s" % args.report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Technology calibration (the two fitted constants of DESIGN.md).
+
+The shipped :class:`repro.config.Technology` defaults already contain the
+fitted values; these functions re-derive them so tests can verify the
+defaults and users can recalibrate after changing the cell library.
+
+* :func:`calibrate_time_unit` fits the logical-effort unit so the 16x16
+  array multiplier's critical path equals the paper's 1.32 ns.
+* :func:`calibrate_bti_prefactor` fits Eq. 2's constant ``A`` so the
+  16x16 column-bypassing multiplier's critical path degrades by 13%
+  over seven years (paper Fig. 7).
+"""
+
+from __future__ import annotations
+
+from ..aging.degradation import AgedCircuitFactory
+from ..arith.array_mult import array_multiplier
+from ..arith.column_bypass import column_bypass_multiplier
+from ..config import DEFAULT_TECHNOLOGY, Technology
+from ..errors import CalibrationError
+from ..timing.sta import StaticTiming
+
+#: Paper targets.
+AM16_CRITICAL_NS = 1.32
+SEVEN_YEAR_DRIFT = 0.13
+
+
+def calibrate_time_unit(
+    technology: Technology = DEFAULT_TECHNOLOGY,
+    target_ns: float = AM16_CRITICAL_NS,
+) -> Technology:
+    """Return a technology whose AM-16 critical path is ``target_ns``."""
+    if target_ns <= 0:
+        raise CalibrationError("target_ns must be positive")
+    netlist = array_multiplier(16)
+    crit_units = (
+        StaticTiming(netlist, technology).critical_delay
+        / technology.time_unit_ns
+    )
+    return technology.replace(time_unit_ns=target_ns / crit_units)
+
+
+def calibrate_bti_prefactor(
+    technology: Technology = DEFAULT_TECHNOLOGY,
+    target_drift: float = SEVEN_YEAR_DRIFT,
+    years: float = 7.0,
+    tolerance: float = 1e-3,
+    max_iterations: int = 60,
+    characterize_patterns: int = 1500,
+) -> Technology:
+    """Bisect Eq. 2's prefactor to the target critical-path drift."""
+    if not 0 < target_drift < 1:
+        raise CalibrationError("target_drift must lie in (0, 1)")
+    netlist = column_bypass_multiplier(16)
+    factory = AgedCircuitFactory.characterize(
+        netlist, technology, num_patterns=characterize_patterns, seed=3
+    )
+    base = StaticTiming(netlist, technology).critical_delay
+
+    def drift(prefactor: float) -> float:
+        candidate = technology.replace(bti_prefactor=prefactor)
+        aged_factory = AgedCircuitFactory(netlist, factory.stress, candidate)
+        scale = aged_factory.delay_scale(years)
+        aged = StaticTiming(netlist, candidate, scale).critical_delay
+        return aged / base - 1.0
+
+    lo, hi = 1e5, 1e10
+    if not drift(lo) < target_drift < drift(hi):
+        raise CalibrationError("target drift outside the bisection bracket")
+    mid = lo
+    for _ in range(max_iterations):
+        mid = (lo * hi) ** 0.5
+        if abs(drift(mid) - target_drift) < tolerance:
+            break
+        if drift(mid) < target_drift:
+            lo = mid
+        else:
+            hi = mid
+    return technology.replace(bti_prefactor=mid)

@@ -1,0 +1,133 @@
+"""Extension experiment ``ext_em``: BTI + electromigration lifetime.
+
+The paper's conclusion (Section V) argues that the proposed variable-
+latency multipliers remain effective when interconnect electromigration
+compounds the BTI transistor aging, because they have less timing waste
+to start with, while traditional designs must clock at the doubly
+degraded worst case.  This experiment quantifies that: it composes the
+calibrated BTI delay factors with activity-driven EM factors and
+compares the fixed-latency and adaptive designs' latency growth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from ..aging.electromigration import (
+    ElectromigrationModel,
+    cell_toggle_rates,
+    combined_delay_scale,
+)
+from ..analysis.series import Series
+from ..analysis.tables import format_table
+from ..timing.engine import CompiledCircuit
+from ..timing.sta import StaticTiming
+from .context import ExperimentContext, default_context
+
+YEARS = (0.0, 2.0, 5.0, 7.0, 10.0)
+PAPER_PATTERNS = 10000
+
+
+@dataclasses.dataclass
+class EmResult:
+    width: int
+    #: design -> latency Series over years, BTI only.
+    bti_only: Dict[str, Series]
+    #: design -> latency Series over years, BTI + EM.
+    combined: Dict[str, Series]
+
+    def growth(self, table: str, design: str) -> float:
+        series = (self.bti_only if table == "bti" else self.combined)[design]
+        return float(series.y[-1] / series.y[0] - 1.0)
+
+    def render(self) -> str:
+        rows = []
+        for design in sorted(self.bti_only):
+            rows.append(
+                [
+                    design,
+                    self.growth("bti", design),
+                    self.growth("combined", design),
+                ]
+            )
+        return format_table(
+            ["design", "BTI growth", "BTI+EM growth"], rows
+        )
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    width: int = 16,
+    years: Sequence[float] = YEARS,
+    num_patterns: Optional[int] = None,
+    cycle_ns: Optional[float] = None,
+    skip: Optional[int] = None,
+    em_model: Optional[ElectromigrationModel] = None,
+) -> EmResult:
+    ctx = context or default_context()
+    n = num_patterns or ctx.patterns(PAPER_PATTERNS)
+    skip = skip if skip is not None else width // 2 - 1
+    md, mr = ctx.stream(width, n)
+    em = em_model or ElectromigrationModel(ctx.technology)
+
+    bti_only: Dict[str, list] = {}
+    combined: Dict[str, list] = {}
+    for kind in ("column", "row"):
+        netlist = ctx.netlist(width, kind)
+        factory = ctx.factory(width, kind)
+        if cycle_ns is None:
+            flcb0 = StaticTiming(netlist, ctx.technology).critical_delay
+            vl_cycle = 0.64 * flcb0
+        else:
+            vl_cycle = cycle_ns
+        stats = ctx.stream_result(
+            width, kind, 0.0, n, collect_net_stats=True
+        )
+        rates = cell_toggle_rates(netlist, stats.toggle_counts, n)
+
+        fixed_name = "flcb" if kind == "column" else "flrb"
+        adaptive_name = "a-vlcb" if kind == "column" else "a-vlrb"
+        for name in (fixed_name, adaptive_name):
+            bti_only.setdefault(name, [])
+            combined.setdefault(name, [])
+
+        for year in years:
+            bti_scale = (
+                factory.delay_scale(year) if year else None
+            )
+            for with_em in (False, True):
+                if bti_scale is None:
+                    scale = None
+                    if with_em and year:
+                        scale = em.delay_scale(netlist, rates, year)
+                elif with_em:
+                    scale = combined_delay_scale(
+                        bti_scale, em.delay_scale(netlist, rates, year)
+                    )
+                else:
+                    scale = bti_scale
+                table = combined if with_em else bti_only
+                # Fixed design: clock at the degraded critical path.
+                table[fixed_name].append(
+                    StaticTiming(
+                        netlist, ctx.technology, scale
+                    ).critical_delay
+                )
+                # Adaptive design: fixed clock, Razor absorbs the drift.
+                circuit = CompiledCircuit(netlist, ctx.technology, scale)
+                stream = circuit.run({"md": md, "mr": mr})
+                arch = ctx.variable_design(width, kind, skip, vl_cycle)
+                report = arch.run_patterns(
+                    md, mr, years=0.0, stream=stream
+                ).report
+                table[adaptive_name].append(report.average_latency_ns)
+
+    def pack(table):
+        return {
+            name: Series.build(name, list(years) * 1, values)
+            for name, values in table.items()
+        }
+
+    return EmResult(width=width, bti_only=pack(bti_only),
+                    combined=pack(combined))

@@ -1,0 +1,118 @@
+"""Extension experiment ``ext_workloads``: application-shaped streams.
+
+The paper evaluates on uniform random operands; its introduction
+motivates the multiplier with FFT/DCT/filtering kernels.  This
+experiment drives the architecture with the application-shaped streams
+of :mod:`repro.workloads.dsp` and reports, per workload:
+
+* the one-cycle *potential* (fraction of patterns the relaxed judging
+  block would call one-cycle) and the ratio actually realized,
+* the average latency, Razor error count and whether the aging
+  indicator tripped,
+* the improvement over the fixed-latency host.
+
+Two findings: (a) DSP coefficient streams are zero-rich, so their
+one-cycle potential is higher than uniform noise's; (b) their *temporal*
+structure differs too -- a FIR stream interleaves near-full-scale center
+taps with tiny tail taps, producing transition patterns that violate a
+clock tuned on uniform noise, which trips the AHL.  The indicator thus
+adapts to workload structure exactly as it adapts to aging -- an
+emergent property of the paper's design worth documenting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..workloads.dsp import dct_stream, fir_filter_stream, image_gradient_stream
+from ..workloads.generators import uniform_operands
+from .context import ExperimentContext, default_context
+
+PAPER_PATTERNS = 10000
+
+
+def _streams(width: int, n: int) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    return {
+        "uniform": uniform_operands(width, n, seed=5),
+        "fir": fir_filter_stream(width, n, seed=5),
+        "dct": dct_stream(width, n, seed=5),
+        "image": image_gradient_stream(width, n, seed=5),
+    }
+
+
+@dataclasses.dataclass
+class WorkloadRow:
+    name: str
+    one_cycle_potential: float
+    one_cycle_ratio: float
+    average_latency_ns: float
+    error_count: int
+    indicator_aged_at: int
+    improvement_vs_fixed: float
+    products_exact: bool
+
+
+@dataclasses.dataclass
+class WorkloadResult:
+    width: int
+    cycle_ns: float
+    rows: Dict[str, WorkloadRow]
+
+    def render(self) -> str:
+        table = [
+            [
+                row.name,
+                row.one_cycle_potential,
+                row.one_cycle_ratio,
+                row.average_latency_ns,
+                row.error_count,
+                row.indicator_aged_at,
+                row.improvement_vs_fixed,
+                row.products_exact,
+            ]
+            for row in self.rows.values()
+        ]
+        return format_table(
+            ["workload", "potential", "realized", "latency ns", "errors",
+             "ahl@op", "vs fixed", "exact"],
+            table,
+        )
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    width: int = 16,
+    kind: str = "column",
+    num_patterns: Optional[int] = None,
+    cycle_ns: float = 0.9,
+    skip: Optional[int] = None,
+) -> WorkloadResult:
+    ctx = context or default_context()
+    n = num_patterns or ctx.patterns(PAPER_PATTERNS)
+    skip = skip if skip is not None else width // 2 - 1
+    arch = ctx.variable_design(width, kind, skip, cycle_ns)
+    fixed = ctx.fixed_design(width, kind).latency_ns(0.0)
+
+    from ..core.judging import JudgingBlock
+
+    relaxed = JudgingBlock(width, skip)
+    rows: Dict[str, WorkloadRow] = {}
+    for name, (md, mr) in _streams(width, n).items():
+        result = arch.run_patterns(md, mr, check_golden=True)
+        report = result.report
+        judged = md if kind == "column" else mr
+        rows[name] = WorkloadRow(
+            name=name,
+            one_cycle_potential=relaxed.one_cycle_ratio(judged),
+            one_cycle_ratio=report.one_cycle_ratio,
+            average_latency_ns=report.average_latency_ns,
+            error_count=report.error_count,
+            indicator_aged_at=report.indicator_aged_at,
+            improvement_vs_fixed=report.improvement_over(fixed),
+            products_exact=bool(result.golden_ok),
+        )
+    return WorkloadResult(width=width, cycle_ns=cycle_ns, rows=rows)

@@ -1,0 +1,62 @@
+"""Fig. 7: seven-year NBTI/PBTI aging trend of the 16x16 column- and
+row-bypassing multipliers.
+
+Paper reading: the BTI effect increases the critical-path delay by about
+13% over seven years at 125 degC.  (The 13% point is a calibration
+target -- see DESIGN.md -- but the *shape* of the curve, the t^(1/6)
+saturation, and the row-vs-column agreement are genuine predictions.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from ..analysis.series import Series
+from ..analysis.tables import format_table
+from ..timing.sta import StaticTiming
+from .context import ExperimentContext, default_context
+
+YEARS = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
+PAPER_DRIFT = 0.13
+
+
+@dataclasses.dataclass
+class Fig07Result:
+    series: Dict[str, Series]
+    drift_at_7y: Dict[str, float]
+
+    def render(self) -> str:
+        rows = []
+        for kind, series in self.series.items():
+            rows.append(
+                [kind]
+                + [round(v, 4) for v in series.y]
+                + [self.drift_at_7y[kind]]
+            )
+        headers = ["multiplier"] + ["y%d ns" % y for y in range(8)] + ["drift"]
+        return format_table(headers, rows)
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    years: Sequence[float] = YEARS,
+    width: int = 16,
+) -> Fig07Result:
+    ctx = context or default_context()
+    series = {}
+    drift = {}
+    for kind in ("column", "row"):
+        factory = ctx.factory(width, kind)
+        delays = []
+        for year in years:
+            scale = None if year == 0 else factory.delay_scale(year)
+            delays.append(
+                StaticTiming(
+                    ctx.netlist(width, kind), ctx.technology, scale
+                ).critical_delay
+            )
+        series[kind] = Series.build("%dx%d %s" % (width, width, kind),
+                                    list(years), delays)
+        drift[kind] = delays[-1] / delays[0] - 1.0
+    return Fig07Result(series=series, drift_at_7y=drift)

@@ -1,0 +1,91 @@
+"""Figs. 9 and 10: distribution of the number of 0s and 1s in random
+multiplicators (Fig. 9) and multiplicands (Fig. 10).
+
+Paper reading: with uniformly random inputs the zero/one counts follow
+the (binomial, near-normal) bell curve, so judging on zeros or on ones
+is equivalent.  The result also reports the exact binomial expectation
+for comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..arith.reference import count_ones, count_zeros
+from .context import ExperimentContext, default_context
+
+PAPER_PATTERNS = 65536
+
+
+def binomial_pmf(width: int) -> np.ndarray:
+    """Exact Binomial(width, 1/2) pmf over 0..width."""
+    return np.array(
+        [math.comb(width, k) / 2.0**width for k in range(width + 1)]
+    )
+
+
+@dataclasses.dataclass
+class ZeroDistributionResult:
+    width: int
+    zero_counts: Dict[str, np.ndarray]  # operand -> histogram over 0..width
+    one_counts: Dict[str, np.ndarray]
+    num_patterns: int
+
+    def empirical_pmf(self, operand: str, which: str = "zeros") -> np.ndarray:
+        table = (
+            self.zero_counts if which == "zeros" else self.one_counts
+        )[operand]
+        return table / table.sum()
+
+    def max_pmf_error(self, operand: str = "md") -> float:
+        """Sup-distance between the empirical and binomial pmfs."""
+        return float(
+            np.abs(
+                self.empirical_pmf(operand) - binomial_pmf(self.width)
+            ).max()
+        )
+
+    def render(self) -> str:
+        pmf = binomial_pmf(self.width)
+        rows = []
+        for k in range(self.width + 1):
+            rows.append(
+                [
+                    k,
+                    int(self.zero_counts["mr"][k]),
+                    int(self.zero_counts["md"][k]),
+                    round(pmf[k] * self.num_patterns, 1),
+                ]
+            )
+        return format_table(
+            ["#zeros", "mr count (Fig9)", "md count (Fig10)", "binomial"],
+            rows,
+        )
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    num_patterns: Optional[int] = None,
+    width: int = 16,
+) -> ZeroDistributionResult:
+    ctx = context or default_context()
+    n = num_patterns or ctx.patterns(PAPER_PATTERNS)
+    md, mr = ctx.stream(width, n)
+    zero_counts = {}
+    one_counts = {}
+    for name, operand in (("md", md), ("mr", mr)):
+        zeros = count_zeros(operand, width)
+        ones = count_ones(operand, width)
+        zero_counts[name] = np.bincount(zeros, minlength=width + 1)
+        one_counts[name] = np.bincount(ones, minlength=width + 1)
+    return ZeroDistributionResult(
+        width=width,
+        zero_counts=zero_counts,
+        one_counts=one_counts,
+        num_patterns=n,
+    )

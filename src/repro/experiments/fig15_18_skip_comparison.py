@@ -1,0 +1,146 @@
+"""Figs. 15-18: skip-number comparison of latency and error counts.
+
+Figs. 15 (16x16) and 17 (32x32) overlay the average-latency curves of
+the three skip numbers; Figs. 16 and 18 show the matching Razor error
+counts per 10 000 operations.
+
+Paper readings this reproduces:
+
+* the smallest skip number (Skip-7 / Skip-15) has the *lowest* latency
+  at long cycle periods (most one-cycle patterns, few violations) and
+  the *highest* latency at short cycle periods (its aggressive one-cycle
+  population racks up re-execution penalties);
+* error counts fall monotonically as the cycle period grows, and the
+  smaller the skip number the more errors at a given short period.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..analysis.series import Series
+from ..analysis.tables import format_table
+from .context import ExperimentContext, default_context
+from .fig13_14_latency_sweep import run as run_sweep
+
+
+@dataclasses.dataclass
+class SkipComparisonResult:
+    width: int
+    kind: str
+    latency: Dict[int, Series]
+    errors: Dict[int, Series]
+    baselines: Dict[str, float]
+
+    def crossover_ok(self) -> bool:
+        """Smallest skip is best at the longest cycle and worst at the
+        shortest cycle (the paper's qualitative claim)."""
+        skips = sorted(self.latency)
+        small, large = skips[0], skips[-1]
+        at_long = {
+            skip: self.latency[skip].y[-1] for skip in (small, large)
+        }
+        at_short = {
+            skip: self.latency[skip].y[0] for skip in (small, large)
+        }
+        return (
+            at_long[small] <= at_long[large]
+            and at_short[small] >= at_short[large]
+        )
+
+    def errors_monotone(self, slack: float = 0.0) -> bool:
+        """Error counts never grow with a longer cycle period.
+
+        ``slack`` tolerates small upticks (fraction of the total ops):
+        an *adaptive* design may flip its judging block at different
+        windows for different clock periods, which wiggles the counts;
+        traditional designs are strictly monotone.
+        """
+        allowance = slack * max(
+            (series.y.max() for series in self.errors.values()), default=0
+        )
+        return all(
+            all(a + allowance >= b for a, b in zip(series.y, series.y[1:]))
+            for series in self.errors.values()
+        )
+
+    def render(self) -> str:
+        rows = []
+        for skip, series in sorted(self.latency.items()):
+            err = self.errors[skip]
+            rows.append(
+                [
+                    "skip%d" % skip,
+                    series.y[0],
+                    series.y[-1],
+                    int(err.y[0]),
+                    int(err.y[-1]),
+                ]
+            )
+        return (
+            format_table(
+                [
+                    "design",
+                    "lat @shortT",
+                    "lat @longT",
+                    "err @shortT",
+                    "err @longT",
+                ],
+                rows,
+            )
+            + "\ncrossover: %s  errors monotone: %s"
+            % (self.crossover_ok(), self.errors_monotone())
+        )
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    width: int = 16,
+    kind: str = "column",
+    num_patterns: Optional[int] = None,
+    cycles: Optional[Sequence[float]] = None,
+    adaptive: bool = True,
+) -> SkipComparisonResult:
+    ctx = context or default_context()
+    sweep = run_sweep(
+        ctx,
+        width=width,
+        num_patterns=num_patterns,
+        cycles=cycles,
+        kinds=(kind,),
+        adaptive=adaptive,
+    )
+    latency = {
+        skip: series
+        for (k, skip), series in sweep.latency.items()
+        if k == kind
+    }
+    errors = {
+        skip: series
+        for (k, skip), series in sweep.errors.items()
+        if k == kind
+    }
+    return SkipComparisonResult(
+        width=width,
+        kind=kind,
+        latency=latency,
+        errors=errors,
+        baselines=sweep.baselines,
+    )
+
+
+def run_fig15(context=None, kind: str = "column", **kw):
+    return run(context, width=16, kind=kind, **kw)
+
+
+def run_fig16(context=None, kind: str = "column", **kw):
+    return run(context, width=16, kind=kind, **kw)
+
+
+def run_fig17(context=None, kind: str = "column", **kw):
+    return run(context, width=32, kind=kind, **kw)
+
+
+def run_fig18(context=None, kind: str = "column", **kw):
+    return run(context, width=32, kind=kind, **kw)

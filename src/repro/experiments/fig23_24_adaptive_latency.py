@@ -1,0 +1,112 @@
+"""Figs. 23 and 24: average latency of adaptive vs traditional variable
+latency (plus the fixed baselines) on aged silicon, per skip number.
+
+Fig. 23: 16x16, Skip-7/8/9 panels.  Fig. 24: 32x32, Skip-15/16/17.
+
+Paper reading: the adaptive design's latency is equal to or better than
+the traditional design's, with the biggest gap at short cycle periods
+where the traditional design drowns in Razor penalties.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..analysis.series import Series
+from ..analysis.tables import format_table
+from .context import ExperimentContext, default_context
+from .fig13_14_latency_sweep import (
+    CYCLE_GRIDS,
+    PAPER_PATTERNS,
+    SKIP_SETS,
+)
+
+
+@dataclasses.dataclass
+class AdaptiveLatencyResult:
+    width: int
+    years: float
+    #: (kind, skip, adaptive) -> latency Series.
+    latency: Dict[Tuple[str, int, bool], Series]
+    baselines: Dict[str, float]
+
+    def gap_at_shortest(self, kind: str, skip: int) -> float:
+        """Traditional minus adaptive latency at the shortest period."""
+        trad = self.latency[(kind, skip, False)].y[0]
+        adap = self.latency[(kind, skip, True)].y[0]
+        return float(trad - adap)
+
+    def render(self) -> str:
+        rows = []
+        for (kind, skip, adaptive), series in sorted(
+            self.latency.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+        ):
+            rows.append(
+                [
+                    "%s skip%d %s"
+                    % (kind, skip, "A-VL" if adaptive else "T-VL"),
+                    series.y[0],
+                    series.best()[1],
+                    series.y[-1],
+                ]
+            )
+        return format_table(
+            ["design", "lat @shortT", "best", "lat @longT"], rows
+        )
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    width: int = 16,
+    years: float = 7.0,
+    skips: Optional[Sequence[int]] = None,
+    cycles: Optional[Sequence[float]] = None,
+    num_patterns: Optional[int] = None,
+    kinds: Sequence[str] = ("column", "row"),
+) -> AdaptiveLatencyResult:
+    ctx = context or default_context()
+    n = num_patterns or ctx.patterns(PAPER_PATTERNS)
+    skips = tuple(skips or SKIP_SETS[width])
+    cycles = tuple(cycles or CYCLE_GRIDS[width])
+    md, mr = ctx.stream(width, n)
+
+    baselines = {
+        "am": ctx.fixed_design(width, "am").latency_ns(years),
+        "flcb": ctx.fixed_design(width, "column").latency_ns(years),
+        "flrb": ctx.fixed_design(width, "row").latency_ns(years),
+    }
+    latency: Dict[Tuple[str, int, bool], Series] = {}
+    for kind in kinds:
+        stream = ctx.stream_result(width, kind, years, n)
+        for skip in skips:
+            for adaptive in (False, True):
+                values = []
+                for cycle in cycles:
+                    design = ctx.variable_design(
+                        width, kind, skip, cycle, adaptive=adaptive
+                    )
+                    report = design.run_patterns(
+                        md, mr, years=years, stream=stream
+                    ).report
+                    values.append(report.average_latency_ns)
+                label = "%s-%s-%d skip%d" % (
+                    "A" if adaptive else "T",
+                    "VLCB" if kind == "column" else "VLRB",
+                    width,
+                    skip,
+                )
+                latency[(kind, skip, adaptive)] = Series.build(
+                    label, cycles, values
+                )
+    return AdaptiveLatencyResult(
+        width=width, years=years, latency=latency, baselines=baselines
+    )
+
+
+def run_fig23(context=None, **kw):
+    return run(context, width=16, **kw)
+
+
+def run_fig24(context=None, **kw):
+    return run(context, width=32, **kw)

@@ -1,0 +1,112 @@
+"""Fig. 25: area (transistor counts) of AM, FLCB, A-VLCB, FLRB and
+A-VLRB at 16x16 and 32x32, normalized to the AM.
+
+Paper readings this reproduces:
+
+* the adaptive designs cost extra area for the AHL and Razor flip-flops
+  (paper: +22.9% / +23.5% over FLCB / FLRB at 16x16);
+* the *relative* overhead shrinks at 32x32 (paper: +12.3% / +5.7%)
+  because the AHL and Razor bank grow much slower than the array.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..analysis.tables import format_table
+from ..core.ahl import ahl_netlist
+from ..nets.area import AreaReport, area_report
+from .context import ExperimentContext, default_context
+
+PAPER_OVERHEAD = {  # (width, kind) -> adaptive-vs-fixed area overhead
+    (16, "column"): 0.229,
+    (16, "row"): 0.235,
+    (32, "column"): 0.123,
+    (32, "row"): 0.057,
+}
+
+
+@dataclasses.dataclass
+class AreaResult:
+    #: (width, design) -> report;  design in {am, flcb, a-vlcb, flrb, a-vlrb}.
+    reports: Dict[Tuple[int, str], AreaReport]
+
+    def normalized(self, width: int) -> Dict[str, float]:
+        baseline = self.reports[(width, "am")]
+        return {
+            design: report.normalized_to(baseline)
+            for (w, design), report in self.reports.items()
+            if w == width
+        }
+
+    def adaptive_overhead(self, width: int, kind: str) -> float:
+        """Adaptive-vs-fixed area overhead ratio (the paper's metric)."""
+        fixed = "flcb" if kind == "column" else "flrb"
+        adaptive = "a-vlcb" if kind == "column" else "a-vlrb"
+        return (
+            self.reports[(width, adaptive)].total
+            / self.reports[(width, fixed)].total
+            - 1.0
+        )
+
+    def render(self) -> str:
+        rows = []
+        widths = sorted({w for w, _ in self.reports})
+        for width in widths:
+            norm = self.normalized(width)
+            for design in ("am", "flcb", "a-vlcb", "flrb", "a-vlrb"):
+                report = self.reports[(width, design)]
+                rows.append(
+                    [
+                        "%dx%d %s" % (width, width, design),
+                        report.combinational,
+                        report.flip_flops,
+                        report.razor_flip_flops,
+                        report.ahl,
+                        report.total,
+                        norm[design],
+                    ]
+                )
+        return format_table(
+            ["design", "comb", "dff", "razor", "ahl", "total", "vs AM"],
+            rows,
+        )
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    widths: Tuple[int, ...] = (16, 32),
+) -> AreaResult:
+    ctx = context or default_context()
+    reports: Dict[Tuple[int, str], AreaReport] = {}
+    for width in widths:
+        skip = width // 2 - 1
+        reports[(width, "am")] = area_report(
+            ctx.netlist(width, "am"),
+            name="am-%d" % width,
+            input_ff_bits=2 * width,
+            output_ff_bits=2 * width,
+        )
+        for kind, fixed_name, adaptive_name in (
+            ("column", "flcb", "a-vlcb"),
+            ("row", "flrb", "a-vlrb"),
+        ):
+            netlist = ctx.netlist(width, kind)
+            reports[(width, fixed_name)] = area_report(
+                netlist,
+                name="%s-%d" % (fixed_name, width),
+                input_ff_bits=2 * width,
+                output_ff_bits=2 * width,
+            )
+            ahl_nl, seq_bits = ahl_netlist(width, skip)
+            reports[(width, adaptive_name)] = area_report(
+                netlist,
+                name="%s-%d" % (adaptive_name, width),
+                input_ff_bits=2 * width,
+                output_ff_bits=0,
+                razor_bits=2 * width,
+                ahl_netlist=ahl_nl,
+                extra_dff_bits=seq_bits,
+            )
+    return AreaResult(reports=reports)

@@ -1,0 +1,78 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import ConfigError
+from .context import ExperimentContext, default_context
+from . import (
+    claims,
+    ext_baselines,
+    ext_em,
+    ext_vladder,
+    ext_workloads,
+    fig05_delay_distribution,
+    fig06_zeros_vs_delay,
+    fig07_aging_trend,
+    fig09_10_zero_distribution,
+    fig13_14_latency_sweep,
+    fig15_18_skip_comparison,
+    fig19_22_adaptive_errors,
+    fig23_24_adaptive_latency,
+    fig25_area,
+    fig26_27_lifetime,
+    tables_one_cycle_ratio,
+)
+
+#: Experiment id -> runner(context, **kw).  Ids match DESIGN.md section 4.
+REGISTRY: Dict[str, Callable] = {
+    "fig05": fig05_delay_distribution.run,
+    "fig06": fig06_zeros_vs_delay.run,
+    "fig07": fig07_aging_trend.run,
+    "fig09_10": fig09_10_zero_distribution.run,
+    "tab1": tables_one_cycle_ratio.run_table1,
+    "tab2": tables_one_cycle_ratio.run_table2,
+    "fig13": fig13_14_latency_sweep.run_fig13,
+    "fig14": fig13_14_latency_sweep.run_fig14,
+    "fig15": fig15_18_skip_comparison.run_fig15,
+    "fig16": fig15_18_skip_comparison.run_fig16,
+    "fig17": fig15_18_skip_comparison.run_fig17,
+    "fig18": fig15_18_skip_comparison.run_fig18,
+    "fig19": fig19_22_adaptive_errors.run_fig19,
+    "fig20": fig19_22_adaptive_errors.run_fig20,
+    "fig21": fig19_22_adaptive_errors.run_fig21,
+    "fig22": fig19_22_adaptive_errors.run_fig22,
+    "fig23": fig23_24_adaptive_latency.run_fig23,
+    "fig24": fig23_24_adaptive_latency.run_fig24,
+    "fig25": fig25_area.run,
+    "fig26": fig26_27_lifetime.run_fig26,
+    "fig27": fig26_27_lifetime.run_fig27,
+    # Extensions beyond the paper's figures (Section V discussion,
+    # related-work baselines, motivating workloads).
+    "claims": claims.run,
+    "ext_em": ext_em.run,
+    "ext_baselines": ext_baselines.run,
+    "ext_vladder": ext_vladder.run,
+    "ext_workloads": ext_workloads.run,
+}
+
+
+def get_experiment(name: str) -> Callable:
+    """Look up an experiment runner by id."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            "unknown experiment %r (known: %s)" % (name, sorted(REGISTRY))
+        ) from None
+
+
+def run_experiment(
+    name: str,
+    context: Optional[ExperimentContext] = None,
+    **overrides,
+):
+    """Run one experiment and return its result object."""
+    runner = get_experiment(name)
+    return runner(context or default_context(), **overrides)

@@ -1,0 +1,52 @@
+"""Gate-level netlist substrate.
+
+This package provides the structural layer of the reproduction: a standard
+cell library (:mod:`repro.nets.cells`), a netlist builder with ports,
+validation and levelization (:mod:`repro.nets.netlist`), transistor-level
+area accounting (:mod:`repro.nets.area`) and a human-readable structural
+dump (:mod:`repro.nets.export`).
+"""
+
+from .cells import (
+    CellLibrary,
+    CellType,
+    STANDARD_LIBRARY,
+    OP_AND2,
+    OP_AND3,
+    OP_BUF,
+    OP_INV,
+    OP_MUX2,
+    OP_NAND2,
+    OP_NOR2,
+    OP_OR2,
+    OP_OR3,
+    OP_TRIBUF,
+    OP_XNOR2,
+    OP_XOR2,
+)
+from .netlist import Cell, Netlist, Port
+from .area import AreaReport, area_report, transistor_count
+
+__all__ = [
+    "AreaReport",
+    "Cell",
+    "CellLibrary",
+    "CellType",
+    "Netlist",
+    "Port",
+    "STANDARD_LIBRARY",
+    "area_report",
+    "transistor_count",
+    "OP_AND2",
+    "OP_AND3",
+    "OP_BUF",
+    "OP_INV",
+    "OP_MUX2",
+    "OP_NAND2",
+    "OP_NOR2",
+    "OP_OR2",
+    "OP_OR3",
+    "OP_TRIBUF",
+    "OP_XNOR2",
+    "OP_XOR2",
+]

@@ -1,0 +1,165 @@
+"""Standard cell library.
+
+Each :class:`CellType` bundles the static properties a gate needs for the
+three analyses the paper performs:
+
+* **timing** -- a logical-effort style intrinsic delay in *delay units*;
+  the technology's calibrated ``time_unit_ns`` converts units to ns;
+* **area**   -- a transistor count (Fig. 25 reports area in transistors);
+* **power**  -- an output load in unit capacitances, and the transistor
+  count doubles as the leakage weight.
+
+The delay units follow the usual logical-effort ordering (inverter fastest;
+XOR/MUX the slow complex gates).  Absolute values do not matter -- the
+calibration in :mod:`repro.experiments.calibration` maps units to ns so the
+16x16 array multiplier critical path equals the paper's 1.32 ns -- but the
+*ratios* between cell types shape which paths are critical, so they are
+chosen from standard logical-effort estimates for static CMOS.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, Tuple
+
+from ..errors import ConfigError, UnknownCellError
+
+# Opcode constants.  The timing engines dispatch on these small integers
+# instead of strings; keep them stable, tests rely on the values only via
+# these names.
+OP_BUF = 0
+OP_INV = 1
+OP_AND2 = 2
+OP_OR2 = 3
+OP_NAND2 = 4
+OP_NOR2 = 5
+OP_XOR2 = 6
+OP_XNOR2 = 7
+OP_MUX2 = 8
+OP_TRIBUF = 9
+OP_AND3 = 10
+OP_OR3 = 11
+
+
+@dataclasses.dataclass(frozen=True)
+class CellType:
+    """Immutable description of one library cell.
+
+    Attributes:
+        name: Library name, e.g. ``"XOR2"``.
+        opcode: Integer dispatch code (one of the ``OP_*`` constants).
+        num_inputs: Number of input pins.
+        delay_units: Intrinsic delay in logical-effort units.
+        transistors: Transistor count (area + leakage weight).
+        load_caps: Switched capacitance in unit caps when the output
+            toggles (drives the dynamic power model).
+        pmos_fraction: Fraction of the delay borne by pMOS pull-ups; used
+            to weight NBTI (pMOS) vs PBTI (nMOS) degradation per cell.
+    """
+
+    name: str
+    opcode: int
+    num_inputs: int
+    delay_units: float
+    transistors: int
+    load_caps: float
+    pmos_fraction: float = 0.5
+
+    def __post_init__(self):
+        if self.num_inputs < 1:
+            raise ConfigError("cell %s must have >= 1 input" % self.name)
+        if self.delay_units <= 0:
+            raise ConfigError("cell %s must have positive delay" % self.name)
+        if self.transistors < 0:
+            raise ConfigError("cell %s has negative transistor count" % self.name)
+        if not 0.0 <= self.pmos_fraction <= 1.0:
+            raise ConfigError("pmos_fraction must lie in [0, 1]")
+
+
+class CellLibrary:
+    """A named collection of :class:`CellType` entries.
+
+    The library is append-only: once a cell type is registered its
+    definition cannot change, which keeps compiled circuits consistent.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._types: Dict[str, CellType] = {}
+
+    def add(self, cell_type: CellType) -> CellType:
+        """Register ``cell_type``; raises on duplicate names."""
+        if cell_type.name in self._types:
+            raise ConfigError(
+                "cell type %r already registered in library %r"
+                % (cell_type.name, self.name)
+            )
+        self._types[cell_type.name] = cell_type
+        return cell_type
+
+    def get(self, name: str) -> CellType:
+        """Look up a cell type by name; raises :class:`UnknownCellError`."""
+        try:
+            return self._types[name]
+        except KeyError:
+            raise UnknownCellError(
+                "unknown cell type %r in library %r (known: %s)"
+                % (name, self.name, sorted(self._types))
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[CellType]:
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._types))
+
+
+def _build_standard_library() -> CellLibrary:
+    """Create the default static-CMOS library used by all generators.
+
+    Transistor counts are the textbook static-CMOS implementations:
+    transmission-gate MUX2 (incl. select inverter) and the 10-transistor
+    XOR/XNOR.  The transmission-gate cells (MUX2, TRIBUF) present small
+    switched capacitance -- pass-gate inputs, no full restoring input
+    stage -- which is why the bypassing multipliers' extra cells do not
+    erase their activity savings (paper Figs. 26-27(b)).  The tri-state buffer is a clocked inverter pair plus enable
+    inverter.  Sequential cells (DFF, Razor FF) are *not* library gates --
+    they live at the architecture level -- but their transistor weights
+    are exported here for the Fig. 25 area accounting.
+    """
+    lib = CellLibrary("static-cmos-32nm")
+    entries = [
+        #        name      opcode     in  delay  T   cap  pmos
+        CellType("BUF",    OP_BUF,    1,  1.40,  4,  1.3, 0.50),
+        CellType("INV",    OP_INV,    1,  1.00,  2,  1.0, 0.55),
+        CellType("AND2",   OP_AND2,   2,  1.80,  6,  1.5, 0.45),
+        CellType("OR2",    OP_OR2,    2,  2.00,  6,  1.5, 0.60),
+        CellType("NAND2",  OP_NAND2,  2,  1.25,  4,  1.2, 0.40),
+        CellType("NOR2",   OP_NOR2,   2,  1.45,  4,  1.2, 0.65),
+        CellType("XOR2",   OP_XOR2,   2,  2.20, 10,  2.0, 0.50),
+        CellType("XNOR2",  OP_XNOR2,  2,  2.20, 10,  2.0, 0.50),
+        CellType("MUX2",   OP_MUX2,   3,  1.90, 10,  0.9, 0.50),
+        CellType("TRIBUF", OP_TRIBUF, 2,  1.30,  6,  0.5, 0.50),
+        CellType("AND3",   OP_AND3,   3,  2.10,  8,  1.7, 0.45),
+        CellType("OR3",    OP_OR3,    3,  2.40,  8,  1.7, 0.60),
+    ]
+    for entry in entries:
+        lib.add(entry)
+    return lib
+
+
+#: Default library instance shared by the arithmetic generators.
+STANDARD_LIBRARY = _build_standard_library()
+
+#: Transistor weight of a plain D flip-flop (master-slave, static CMOS).
+DFF_TRANSISTORS = 24
+
+#: Transistor weight of a 1-bit Razor flip-flop: main DFF + shadow latch +
+#: XOR comparator + restore mux (Ernst et al. [27]).
+RAZOR_FF_TRANSISTORS = DFF_TRANSISTORS + 12 + 10 + 10

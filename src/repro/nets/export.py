@@ -1,0 +1,114 @@
+"""Human-readable structural dump of a netlist.
+
+The authors' flow emits Verilog; for inspection and documentation this
+module emits an equivalent flat structural text form, one cell per line::
+
+    # netlist multiplier-am-4x4 (cells=..., nets=...)
+    input a[4] = n2 n3 n4 n5
+    ...
+    XOR2 u_fa_0_0_s1 (n2, n3) -> n40
+
+The format round-trips through :func:`parse_netlist` so designs can be
+stored, diffed and reloaded without the Python generators.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import NetlistError
+from .cells import CellLibrary, STANDARD_LIBRARY
+from .netlist import Netlist
+
+
+def dump_netlist(netlist: Netlist) -> str:
+    """Serialize ``netlist`` into the flat structural text form."""
+    lines: List[str] = [
+        "# netlist %s (cells=%d, nets=%d)"
+        % (netlist.name, len(netlist.cells), netlist.num_nets)
+    ]
+    lines.append("netlist %s %d" % (netlist.name, netlist.num_nets))
+    for port in netlist.input_ports.values():
+        lines.append(
+            "input %s %s" % (port.name, " ".join(str(n) for n in port.nets))
+        )
+    for cell in netlist.cells:
+        group = cell.group if cell.group else "-"
+        lines.append(
+            "cell %s %s %s %s -> %d"
+            % (
+                cell.cell_type.name,
+                cell.name or ("u%d" % cell.index),
+                group,
+                " ".join(str(n) for n in cell.inputs),
+                cell.output,
+            )
+        )
+    for port in netlist.output_ports.values():
+        lines.append(
+            "output %s %s" % (port.name, " ".join(str(n) for n in port.nets))
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_netlist(
+    text: str, library: CellLibrary = STANDARD_LIBRARY
+) -> Netlist:
+    """Parse the text form produced by :func:`dump_netlist`.
+
+    Net ids are preserved exactly, so a dump/parse round trip yields a
+    structurally identical netlist.
+    """
+    netlist = None
+    pending_outputs = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        keyword = fields[0]
+        if keyword == "netlist":
+            if len(fields) != 3:
+                raise NetlistError("line %d: bad netlist header" % line_no)
+            netlist = Netlist(fields[1], library=library)
+            total_nets = int(fields[2])
+            while netlist.num_nets < total_nets:
+                netlist.new_net()
+        elif netlist is None:
+            raise NetlistError(
+                "line %d: %r before netlist header" % (line_no, keyword)
+            )
+        elif keyword == "input":
+            name, nets = fields[1], [int(f) for f in fields[2:]]
+            # Re-register the port over the pre-allocated nets.
+            netlist.input_ports[name] = _make_port(name, nets, True)
+            netlist._input_nets.update(nets)
+        elif keyword == "cell":
+            if "->" not in fields:
+                raise NetlistError("line %d: cell line missing '->'" % line_no)
+            arrow = fields.index("->")
+            type_name, inst_name, group = fields[1], fields[2], fields[3]
+            inputs = [int(f) for f in fields[4:arrow]]
+            output = int(fields[arrow + 1])
+            netlist.add_cell(
+                type_name,
+                inputs,
+                output=output,
+                name=inst_name,
+                group=None if group == "-" else group,
+            )
+        elif keyword == "output":
+            pending_outputs.append((fields[1], [int(f) for f in fields[2:]]))
+        else:
+            raise NetlistError("line %d: unknown keyword %r" % (line_no, keyword))
+    if netlist is None:
+        raise NetlistError("empty netlist text")
+    for name, nets in pending_outputs:
+        netlist.add_output_port(name, nets)
+    return netlist
+
+
+def _make_port(name, nets, is_input):
+    from .netlist import Port
+
+    return Port(name, tuple(nets), is_input)

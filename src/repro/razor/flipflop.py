@@ -1,0 +1,101 @@
+"""Behavioral Razor flip-flop and the output-bank error detector.
+
+Model (paper Fig. 11): the main flip-flop samples the combinational
+output at the cycle edge ``T``; the shadow latch samples on a delayed
+clock at ``T + skew``.  If the data input settles between the two edges,
+main and shadow disagree and the error output goes high.
+
+The simulation works with per-bit *arrival times* (the floating-mode
+upper bound on the last transition): a bit errors when it arrives after
+the main edge.  An arrival past the *shadow* edge would be undetectable
+-- the architecture avoids that case by sending slow patterns through
+two-cycle execution, and the bank reports such overruns separately so
+tests can assert the guarantee holds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+import numpy as np
+
+from ..errors import SimulationError
+
+Number = Union[float, np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class RazorFlipFlop:
+    """One Razor stage: main edge at ``cycle_ns``, shadow at ``+skew``.
+
+    Args:
+        cycle_ns: Clock period (main sampling edge).
+        shadow_skew_ns: Delay of the shadow clock after the main edge.
+    """
+
+    cycle_ns: float
+    shadow_skew_ns: float
+
+    def __post_init__(self):
+        if self.cycle_ns <= 0:
+            raise SimulationError("cycle_ns must be positive")
+        if self.shadow_skew_ns <= 0:
+            raise SimulationError("shadow_skew_ns must be positive")
+
+    def samples(self, arrival_ns: float, settled_value: int):
+        """Return ``(main_value, shadow_value, error)`` for one bit.
+
+        A bit arriving before the main edge latches correctly in both;
+        one arriving in the detection window latches stale data in the
+        main flip-flop but correct data in the shadow latch.
+        """
+        if arrival_ns <= self.cycle_ns:
+            return settled_value, settled_value, False
+        if arrival_ns <= self.cycle_ns + self.shadow_skew_ns:
+            stale = 1 - settled_value
+            return stale, settled_value, True
+        raise SimulationError(
+            "arrival %.4f ns beyond the shadow window (%.4f ns): "
+            "undetectable violation" % (arrival_ns, self.cycle_ns + self.shadow_skew_ns)
+        )
+
+    def error(self, arrival_ns: float) -> bool:
+        """Whether this bit triggers the Razor error signal."""
+        return arrival_ns > self.cycle_ns
+
+
+@dataclasses.dataclass(frozen=True)
+class RazorBank:
+    """A bank of Razor flip-flops across all product bits.
+
+    The bank works vectorized on per-pattern delay arrays (the max over
+    bits is enough for the OR of the per-bit error flags: the slowest
+    bit decides).
+    """
+
+    cycle_ns: float
+    shadow_skew_ns: float
+
+    def __post_init__(self):
+        if self.cycle_ns <= 0:
+            raise SimulationError("cycle_ns must be positive")
+        if self.shadow_skew_ns <= 0:
+            raise SimulationError("shadow_skew_ns must be positive")
+
+    def errors(self, delays_ns: Number) -> np.ndarray:
+        """Error flags: the operation missed the main edge."""
+        return np.asarray(delays_ns, dtype=float) > self.cycle_ns
+
+    def undetectable(self, delays_ns: Number) -> np.ndarray:
+        """Flags for arrivals beyond the shadow window.
+
+        The architecture must keep this all-False by routing slow
+        patterns through two-cycle execution.
+        """
+        window = self.cycle_ns + self.shadow_skew_ns
+        return np.asarray(delays_ns, dtype=float) > window
+
+    def error_count(self, delays_ns: Number) -> int:
+        """Number of operations flagged in a stream."""
+        return int(self.errors(delays_ns).sum())

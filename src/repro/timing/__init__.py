@@ -1,0 +1,40 @@
+"""Timing, logic and power analysis substrate.
+
+Three engines share the cell semantics defined in
+:mod:`repro.timing.logic`:
+
+* :class:`repro.timing.engine.CompiledCircuit` -- the workhorse: a
+  levelized, numpy-vectorized two-vector simulator that computes settled
+  values, per-pattern floating-mode path delays, switching activity and
+  signal probabilities for a whole pattern stream at once;
+* :mod:`repro.timing.event` -- an event-driven transport-delay reference
+  simulator used to cross-check the floating-mode engine;
+* :mod:`repro.timing.sta` -- static (value-independent) worst-case timing
+  and critical-path extraction.
+
+:mod:`repro.timing.power` converts switching activity into the paper's
+power / energy-delay-product metrics.
+"""
+
+from .engine import CompiledCircuit, StreamResult
+from .event import EventSimulator, EventResult
+from .sta import StaticTiming, critical_path
+from .power import PowerReport, power_report
+from .variation import ProcessVariation, YieldReport, yield_analysis
+from .vcd import render_vcd, write_vcd
+
+__all__ = [
+    "CompiledCircuit",
+    "StreamResult",
+    "EventSimulator",
+    "EventResult",
+    "ProcessVariation",
+    "StaticTiming",
+    "YieldReport",
+    "critical_path",
+    "PowerReport",
+    "power_report",
+    "render_vcd",
+    "write_vcd",
+    "yield_analysis",
+]

@@ -1,0 +1,473 @@
+"""Levelized, numpy-vectorized two-vector stream simulator.
+
+This is the reproduction's replacement for the paper's SPICE/Nanosim step:
+it applies a *stream* of input patterns to a combinational netlist and, for
+every pattern, computes
+
+* the settled primary-output values (checked against golden models),
+* the per-pattern **path delay** -- when the last primary-output
+  transition lands, given the previous pattern (this is the quantity
+  Figs. 5, 6 and 13-24 are built from),
+* the switched capacitance (dynamic power), with switching inside
+  *bypassed* full-adder groups frozen exactly as the tri-state gates do in
+  the real circuit,
+* per-net signal probabilities (inputs to the BTI stress model).
+
+Two delay semantics are available (see :func:`repro.timing.logic
+.arrival_vector`):
+
+* ``mode="inertial"`` (default): only nets whose settled value changes
+  propagate arrivals -- the glitch-filtered "last transition" a
+  switch-level simulator reports; this is what the paper's per-pattern
+  delay distributions correspond to;
+* ``mode="floating"``: hazard-pessimistic; arrivals provably upper-bound
+  the event-driven transport-delay settle time (cross-checked in tests).
+
+All per-pattern quantities are vectorized across the pattern axis; the
+Python-level loop runs once per cell, not once per pattern.  Memory stays
+bounded because each net's arrays are freed as soon as its last consumer
+has been evaluated; exactness across chunk boundaries is preserved by
+carrying each net's final value and each bypass group's held value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import DEFAULT_TECHNOLOGY, Technology
+from ..errors import SimulationError
+from ..nets.netlist import CONST0, CONST1, Netlist
+from . import logic
+
+#: Delay-semantics modes accepted by :class:`CompiledCircuit`.
+MODES = ("inertial", "floating")
+
+
+@dataclasses.dataclass
+class StreamResult:
+    """Results of one :meth:`CompiledCircuit.run` call.
+
+    Attributes:
+        outputs: Output port name -> uint64 settled values per pattern.
+        delays: Per-pattern path delay in ns (max over all output bits;
+            0 when no output changes).
+        switched_caps: Per-pattern switched capacitance in unit caps.
+        bit_arrivals: Optional port -> ``(width, n)`` per-bit arrival ns.
+        signal_prob: Optional per-net probability of logic 1.
+        toggle_counts: Optional per-net toggle totals.
+        num_patterns: Stream length.
+    """
+
+    outputs: Dict[str, np.ndarray]
+    delays: np.ndarray
+    switched_caps: np.ndarray
+    num_patterns: int
+    bit_arrivals: Optional[Dict[str, np.ndarray]] = None
+    signal_prob: Optional[np.ndarray] = None
+    toggle_counts: Optional[np.ndarray] = None
+
+    @property
+    def max_delay(self) -> float:
+        """Largest observed per-pattern delay (ns)."""
+        return float(self.delays.max()) if self.num_patterns else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean per-pattern delay (ns)."""
+        return float(self.delays.mean()) if self.num_patterns else 0.0
+
+    def mean_switched_caps(self) -> float:
+        """Average switched capacitance per operation (unit caps)."""
+        if not self.num_patterns:
+            return 0.0
+        return float(self.switched_caps.mean())
+
+
+@dataclasses.dataclass(frozen=True)
+class _CompiledCell:
+    position: int
+    opcode: int
+    inputs: "tuple[int, ...]"
+    output: int
+    delay_ns: float
+    cap: float
+    group: Optional[str]
+
+
+class CompiledCircuit:
+    """A netlist compiled for vectorized stream simulation.
+
+    Args:
+        netlist: A validated combinational :class:`Netlist`.
+        technology: Supplies the delay unit (ns per logical-effort unit).
+        delay_scale: Optional per-cell multiplicative delay factors
+            (indexed by cell index) -- this is how aging enters timing.
+        mode: Delay semantics, ``"inertial"`` or ``"floating"``.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        technology: Technology = DEFAULT_TECHNOLOGY,
+        delay_scale: Optional[np.ndarray] = None,
+        mode: str = "inertial",
+    ):
+        if mode not in MODES:
+            raise SimulationError(
+                "mode must be one of %s, got %r" % (MODES, mode)
+            )
+        netlist.validate()
+        self.netlist = netlist
+        self.technology = technology
+        self.mode = mode
+        order = netlist.levelize()
+        if delay_scale is None:
+            scale = np.ones(len(netlist.cells))
+        else:
+            scale = np.asarray(delay_scale, dtype=float)
+            if scale.shape != (len(netlist.cells),):
+                raise SimulationError(
+                    "delay_scale must have one entry per cell (%d), got %r"
+                    % (len(netlist.cells), scale.shape)
+                )
+            if np.any(scale <= 0):
+                raise SimulationError("delay_scale entries must be positive")
+        self.delay_scale = scale
+
+        unit = technology.time_unit_ns
+        self._cells: List[_CompiledCell] = []
+        for position, cell in enumerate(order):
+            self._cells.append(
+                _CompiledCell(
+                    position=position,
+                    opcode=cell.cell_type.opcode,
+                    inputs=cell.inputs,
+                    output=cell.output,
+                    delay_ns=cell.cell_type.delay_units
+                    * unit
+                    * float(scale[cell.index]),
+                    cap=cell.cell_type.load_caps,
+                    group=cell.group,
+                )
+            )
+
+        # Net protection and lifetime analysis for array freeing.
+        self._protected = {CONST0, CONST1}
+        for port in netlist.input_ports.values():
+            self._protected.update(port.nets)
+        for port in netlist.output_ports.values():
+            self._protected.update(port.nets)
+        self._protected.update(netlist.group_enables.values())
+
+        self._last_use: Dict[int, int] = {}
+        for compiled in self._cells:
+            for net in compiled.inputs:
+                self._last_use[net] = compiled.position
+
+        self.num_nets = netlist.num_nets
+
+    def with_delay_scale(self, delay_scale: np.ndarray) -> "CompiledCircuit":
+        """Recompile with new per-cell delay factors (e.g. another year)."""
+        return CompiledCircuit(
+            self.netlist, self.technology, delay_scale, self.mode
+        )
+
+    def cell_delays_ns(self) -> np.ndarray:
+        """Per-cell delays in topological order (ns)."""
+        return np.array([c.delay_ns for c in self._cells])
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        stimulus: Dict[str, Sequence[int]],
+        initial: Optional[Dict[str, int]] = None,
+        collect_bit_arrivals: bool = False,
+        collect_net_stats: bool = False,
+        chunk_size: Optional[int] = None,
+    ) -> StreamResult:
+        """Simulate a pattern stream.
+
+        Args:
+            stimulus: Port name -> integer pattern values (all input ports
+                must be present, all arrays equally long).
+            initial: Optional port values the circuit held *before* the
+                first pattern.  Defaults to the first pattern itself, so
+                pattern 0 arrives on a settled, quiet circuit and reports
+                zero delay.
+            collect_bit_arrivals: Keep per-output-bit arrival matrices.
+            collect_net_stats: Keep per-net signal probabilities and
+                toggle counts (needed by the aging stress extractor).
+            chunk_size: Process the stream in chunks of this many patterns
+                to bound memory; results are exact regardless of chunking.
+        """
+        ports = self.netlist.input_ports
+        missing = set(ports) - set(stimulus)
+        extra = set(stimulus) - set(ports)
+        if missing or extra:
+            raise SimulationError(
+                "stimulus ports mismatch: missing=%s extra=%s"
+                % (sorted(missing), sorted(extra))
+            )
+        arrays = {
+            name: np.asarray(values, dtype=np.uint64)
+            for name, values in stimulus.items()
+        }
+        lengths = {arr.shape[0] for arr in arrays.values()}
+        if len(lengths) != 1:
+            raise SimulationError("stimulus arrays must be equally long")
+        (n,) = lengths
+        if n == 0:
+            raise SimulationError("stimulus must contain at least 1 pattern")
+
+        # Prepend the settling pattern: the state the circuit held before
+        # pattern 0.  Index 0 of the simulated stream is dropped from all
+        # per-pattern results, so delays/toggles are exact two-vector
+        # quantities for every reported pattern.
+        prefixed = {}
+        for name, arr in arrays.items():
+            first = (
+                np.uint64(initial[name])
+                if initial is not None and name in initial
+                else arr[0]
+            )
+            prefixed[name] = np.concatenate(([first], arr))
+
+        if chunk_size is None or chunk_size >= n + 1:
+            result, _, _ = self._run_chunk(
+                prefixed,
+                carry_values=None,
+                carry_held={},
+                collect_bit_arrivals=collect_bit_arrivals,
+                collect_net_stats=collect_net_stats,
+                drop_first=True,
+            )
+            return result
+
+        if chunk_size < 1:
+            raise SimulationError("chunk_size must be >= 1")
+        pieces: List[StreamResult] = []
+        carry_values: Optional[np.ndarray] = None
+        carry_held: Dict[int, int] = {}
+        total = n + 1
+        start = 0
+        first_chunk = True
+        while start < total:
+            stop = min(start + chunk_size + (1 if first_chunk else 0), total)
+            chunk = {name: arr[start:stop] for name, arr in prefixed.items()}
+            result, carry_values, carry_held = self._run_chunk(
+                chunk,
+                carry_values=carry_values,
+                carry_held=carry_held,
+                collect_bit_arrivals=collect_bit_arrivals,
+                collect_net_stats=collect_net_stats,
+                drop_first=first_chunk,
+            )
+            pieces.append(result)
+            start = stop
+            first_chunk = False
+        return _concatenate_results(pieces, self.num_nets)
+
+    # ------------------------------------------------------------------
+
+    def _run_chunk(
+        self,
+        arrays: Dict[str, np.ndarray],
+        carry_values: Optional[np.ndarray],
+        carry_held: Dict[int, int],
+        collect_bit_arrivals: bool,
+        collect_net_stats: bool,
+        drop_first: bool,
+    ):
+        """Simulate one chunk.
+
+        ``carry_values`` holds every net's settled value at the end of
+        the previous chunk (None for the first chunk, which instead
+        starts with the prepended settling pattern and ``drop_first``).
+        """
+        netlist = self.netlist
+        n = next(iter(arrays.values())).shape[0]
+        zeros_f = np.zeros(n)
+        false_b = np.zeros(n, dtype=bool)
+        inertial = self.mode == "inertial"
+
+        values: Dict[int, np.ndarray] = {}
+        mays: Dict[int, np.ndarray] = {}
+        arrs: Dict[int, np.ndarray] = {}
+        trans: Dict[int, np.ndarray] = {}
+
+        values[CONST0] = np.zeros(n, dtype=np.uint8)
+        values[CONST1] = np.ones(n, dtype=np.uint8)
+        mays[CONST0] = mays[CONST1] = false_b
+        arrs[CONST0] = arrs[CONST1] = zeros_f
+        trans[CONST0] = trans[CONST1] = zeros_f
+
+        switched = np.zeros(n)
+        sig_sum = np.zeros(self.num_nets) if collect_net_stats else None
+        tog_sum = np.zeros(self.num_nets) if collect_net_stats else None
+        if collect_net_stats:
+            sig_sum[CONST1] = n
+
+        final_values = np.zeros(self.num_nets, dtype=np.uint8)
+        new_held: Dict[int, int] = {}
+
+        def changed_flags(net: int, vals: np.ndarray) -> np.ndarray:
+            """Per-step value-change flags with exact chunk carry."""
+            flags = np.empty(n, dtype=bool)
+            if carry_values is None:
+                flags[0] = False
+            else:
+                flags[0] = vals[0] != carry_values[net]
+            flags[1:] = vals[1:] != vals[:-1]
+            return flags
+
+        # Primary inputs: expand port words into per-net bit streams.
+        for name, port in netlist.input_ports.items():
+            bits = logic.unpack_bits(arrays[name], port.width)
+            for lane, net in enumerate(port.nets):
+                cur = bits[lane]
+                flags = changed_flags(net, cur)
+                values[net] = cur
+                mays[net] = flags
+                arrs[net] = zeros_f
+                trans[net] = flags.astype(float)
+                final_values[net] = cur[-1]
+                if collect_net_stats:
+                    sig_sum[net] = cur.sum()
+                    tog_sum[net] = flags.sum()
+
+        group_enable_net = netlist.group_enables
+
+        for compiled in self._cells:
+            in_vals = [values[net] for net in compiled.inputs]
+            in_mays = [mays[net] for net in compiled.inputs]
+            in_arrs = [arrs[net] for net in compiled.inputs]
+            out_val = logic.eval_vector(compiled.opcode, in_vals)
+            net = compiled.output
+            changed = changed_flags(net, out_val)
+            out_may, out_arr = logic.arrival_vector(
+                compiled.opcode,
+                in_vals,
+                in_mays,
+                in_arrs,
+                compiled.delay_ns,
+                out_may=changed if inertial else None,
+            )
+            values[net] = out_val
+            mays[net] = out_may
+            arrs[net] = out_arr
+            final_values[net] = out_val[-1]
+
+            # Switching activity: value-conditioned transition densities
+            # (glitches included; disabled tri-state groups stay quiet).
+            out_trans = logic.transition_vector(
+                compiled.opcode,
+                in_vals,
+                [trans[used] for used in compiled.inputs],
+                changed,
+                damping=self.technology.glitch_damping,
+            )
+            trans[net] = out_trans
+            switched += out_trans * compiled.cap
+
+            if collect_net_stats:
+                # Toggle stats use functional (zero-delay) changes, with
+                # grouped cells held while their bypass enable is low.
+                if (
+                    compiled.group is not None
+                    and compiled.group in group_enable_net
+                ):
+                    enable = values[group_enable_net[compiled.group]]
+                    toggles, held_final = logic.tribuf_masked_toggles(
+                        out_val, enable, carry_held.get(net)
+                    )
+                    new_held[net] = held_final
+                else:
+                    toggles = changed
+                sig_sum[net] = out_val.sum()
+                tog_sum[net] = toggles.sum()
+
+            # Free nets whose last consumer has now run.
+            for used in compiled.inputs:
+                if (
+                    used not in self._protected
+                    and self._last_use.get(used) == compiled.position
+                ):
+                    values.pop(used, None)
+                    mays.pop(used, None)
+                    arrs.pop(used, None)
+                    trans.pop(used, None)
+
+        lo = 1 if drop_first else 0
+        outputs: Dict[str, np.ndarray] = {}
+        bit_arrivals: Optional[Dict[str, np.ndarray]] = (
+            {} if collect_bit_arrivals else None
+        )
+        delays = np.zeros(n)
+        for name, port in netlist.output_ports.items():
+            bit_matrix = np.vstack([values[net] for net in port.nets])
+            outputs[name] = logic.pack_bits(bit_matrix)[lo:]
+            port_arr = np.vstack([arrs[net] for net in port.nets])
+            if collect_bit_arrivals:
+                bit_arrivals[name] = port_arr[:, lo:]
+            delays = np.maximum(delays, port_arr.max(axis=0))
+
+        reported = n - lo
+        result = StreamResult(
+            outputs=outputs,
+            delays=delays[lo:],
+            switched_caps=switched[lo:],
+            num_patterns=reported,
+            bit_arrivals=bit_arrivals,
+            signal_prob=(sig_sum / n) if collect_net_stats else None,
+            toggle_counts=tog_sum if collect_net_stats else None,
+        )
+        return result, final_values, new_held
+
+
+def _concatenate_results(
+    pieces: List[StreamResult], num_nets: int
+) -> StreamResult:
+    """Stitch per-chunk results back into one stream-long result."""
+    total = sum(piece.num_patterns for piece in pieces)
+    outputs = {
+        name: np.concatenate([piece.outputs[name] for piece in pieces])
+        for name in pieces[0].outputs
+    }
+    bit_arrivals = None
+    if pieces[0].bit_arrivals is not None:
+        bit_arrivals = {
+            name: np.concatenate(
+                [piece.bit_arrivals[name] for piece in pieces], axis=1
+            )
+            for name in pieces[0].bit_arrivals
+        }
+    signal_prob = None
+    toggle_counts = None
+    if pieces[0].signal_prob is not None:
+        signal_prob = np.zeros(num_nets)
+        toggle_counts = np.zeros(num_nets)
+        weight = 0
+        for piece in pieces:
+            # Chunk signal probabilities were averaged over the chunk's
+            # simulated patterns (incl. the settling pattern of chunk 0);
+            # re-weight by the simulated length.
+            simulated = piece.num_patterns + (1 if weight == 0 else 0)
+            signal_prob += piece.signal_prob * simulated
+            toggle_counts += piece.toggle_counts
+            weight += simulated
+        signal_prob /= weight
+    return StreamResult(
+        outputs=outputs,
+        delays=np.concatenate([piece.delays for piece in pieces]),
+        switched_caps=np.concatenate(
+            [piece.switched_caps for piece in pieces]
+        ),
+        num_patterns=total,
+        bit_arrivals=bit_arrivals,
+        signal_prob=signal_prob,
+        toggle_counts=toggle_counts,
+    )

@@ -1,0 +1,222 @@
+"""Event-driven transport-delay reference simulator.
+
+This simulator is the ground truth the vectorized floating-mode engine is
+validated against: it plays one pattern pair (previous -> current) through
+the netlist with per-cell transport delays and an event heap, recording
+every net's last transition time.
+
+Exactness: at time ``t`` all net values reflect every event at or before
+``t``; an input change at ``t`` schedules a recompute of each consumer at
+``t + d``, which evaluates the cell on the inputs as of ``t``.  That is
+precisely transport-delay semantics, so the final settle time is the true
+per-pattern path delay under this delay model.  The floating-mode engine
+is provably no earlier (it is an upper bound), which the property tests in
+``tests/test_engine_vs_event.py`` exercise.
+
+Tri-state buffers are stateful here: a disabled buffer holds its output,
+and no events propagate through it -- matching the bypassing multipliers'
+power-saving freeze.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import DEFAULT_TECHNOLOGY, Technology
+from ..errors import SimulationError
+from ..nets.cells import OP_TRIBUF
+from ..nets.netlist import CONST0, CONST1, Netlist, bits_to_int
+from . import logic
+
+
+@dataclasses.dataclass
+class EventResult:
+    """Result of one :meth:`EventSimulator.run_pair` call."""
+
+    outputs: Dict[str, int]
+    #: Last transition time (ns) per output port bit, LSB first.
+    bit_last_change: Dict[str, List[float]]
+    #: Max last-transition time over all output bits (ns).
+    settle_time: float
+    #: Total number of value-changing events processed.
+    num_events: int
+    #: Final value of every net.
+    net_values: Dict[int, int]
+    #: Optional full event trace [(time_ns, net, value)], time-ordered
+    #: (populated when ``record_trace=True``); the VCD exporter feeds
+    #: from this.
+    trace: Optional[List] = None
+    #: Net values at t=0 (the settled previous pattern), when tracing.
+    initial_values: Optional[Dict[int, int]] = None
+
+
+class EventSimulator:
+    """Transport-delay event simulator over a combinational netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        technology: Technology = DEFAULT_TECHNOLOGY,
+        delay_scale: Optional[np.ndarray] = None,
+    ):
+        netlist.validate()
+        self.netlist = netlist
+        self.technology = technology
+        self._order = netlist.levelize()
+        if delay_scale is None:
+            scale = np.ones(len(netlist.cells))
+        else:
+            scale = np.asarray(delay_scale, dtype=float)
+            if scale.shape != (len(netlist.cells),):
+                raise SimulationError(
+                    "delay_scale must have one entry per cell"
+                )
+        unit = technology.time_unit_ns
+        self._delay = {
+            cell.index: cell.cell_type.delay_units * unit * float(scale[cell.index])
+            for cell in netlist.cells
+        }
+        # net -> consumer cells
+        self._consumers: Dict[int, List] = {}
+        for cell in netlist.cells:
+            for net in cell.inputs:
+                self._consumers.setdefault(net, []).append(cell)
+        self._state: Optional[Dict[int, int]] = None
+
+    # ------------------------------------------------------------------
+
+    def _expand(self, words: Dict[str, int]) -> Dict[int, int]:
+        ports = self.netlist.input_ports
+        missing = set(ports) - set(words)
+        if missing:
+            raise SimulationError("missing stimulus ports: %s" % sorted(missing))
+        bits: Dict[int, int] = {CONST0: 0, CONST1: 1}
+        for name, port in ports.items():
+            value = int(words[name])
+            if value < 0 or (port.width < 64 and value >> port.width):
+                raise SimulationError(
+                    "value %d does not fit port %r (%d bits)"
+                    % (value, name, port.width)
+                )
+            for lane, net in enumerate(port.nets):
+                bits[net] = (value >> lane) & 1
+        return bits
+
+    def settle(self, words: Dict[str, int]) -> Dict[int, int]:
+        """Zero-delay settle on ``words``; initializes tri-state holds.
+
+        Tri-state buffers are treated transparently on the first settle
+        (as if they had been enabled in the indefinite past), then hold
+        across subsequent :meth:`run_pair` calls.
+        """
+        state = self._expand(words)
+        previous = self._state
+        for cell in self._order:
+            ins = [state[net] for net in cell.inputs]
+            if cell.cell_type.opcode == OP_TRIBUF:
+                if previous is not None and cell.output in previous:
+                    held = previous[cell.output]
+                else:
+                    held = ins[0]
+                state[cell.output] = logic.eval_tribuf_scalar(
+                    ins[0], ins[1], held
+                )
+            else:
+                state[cell.output] = logic.eval_scalar(
+                    cell.cell_type.opcode, ins
+                )
+        self._state = state
+        return dict(state)
+
+    def run_pair(
+        self,
+        prev_words: Dict[str, int],
+        new_words: Dict[str, int],
+        record_trace: bool = False,
+    ) -> EventResult:
+        """Settle on ``prev_words``, then switch to ``new_words`` at t=0.
+
+        With ``record_trace=True`` the result carries the full ordered
+        event list plus the initial net values, ready for
+        :func:`repro.timing.vcd.write_vcd`.
+        """
+        self._state = None
+        self.settle(prev_words)
+        state = self._state
+        initial_values = dict(state) if record_trace else None
+        trace: Optional[List] = [] if record_trace else None
+        new_bits = self._expand(new_words)
+
+        last_change: Dict[int, float] = {}
+        counter = 0
+        heap: List = []
+        for net, value in new_bits.items():
+            if state.get(net) != value:
+                heapq.heappush(heap, (0.0, counter, net, value))
+                counter += 1
+
+        num_events = 0
+        while heap:
+            # Apply every event sharing the earliest timestamp before
+            # re-evaluating consumers: simultaneous input edges (e.g. a
+            # tri-state's data and enable both flipping at t=0) must be
+            # seen atomically.
+            now = heap[0][0]
+            touched = []
+            while heap and heap[0][0] == now:
+                _, _, net, value = heapq.heappop(heap)
+                if state.get(net) != value:
+                    state[net] = value
+                    last_change[net] = now
+                    num_events += 1
+                    touched.append(net)
+                    if trace is not None:
+                        trace.append((now, net, value))
+            consumers = {}
+            for net in touched:
+                for cell in self._consumers.get(net, ()):
+                    consumers[cell.index] = cell
+            for cell in consumers.values():
+                ins = [state[n] for n in cell.inputs]
+                opcode = cell.cell_type.opcode
+                if opcode == OP_TRIBUF:
+                    din, enable = ins
+                    if not enable:
+                        continue  # disabled: output holds, no event
+                    out_value = din
+                else:
+                    out_value = logic.eval_scalar(opcode, ins)
+                heapq.heappush(
+                    heap,
+                    (
+                        now + self._delay[cell.index],
+                        counter,
+                        cell.output,
+                        out_value,
+                    ),
+                )
+                counter += 1
+
+        outputs: Dict[str, int] = {}
+        bit_last_change: Dict[str, List[float]] = {}
+        settle_time = 0.0
+        for name, port in self.netlist.output_ports.items():
+            bits = [state[net] for net in port.nets]
+            outputs[name] = bits_to_int(bits)
+            times = [last_change.get(net, 0.0) for net in port.nets]
+            bit_last_change[name] = times
+            if times:
+                settle_time = max(settle_time, max(times))
+        return EventResult(
+            outputs=outputs,
+            bit_last_change=bit_last_change,
+            settle_time=settle_time,
+            num_events=num_events,
+            net_values=dict(state),
+            trace=trace,
+            initial_values=initial_values,
+        )

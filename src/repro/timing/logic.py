@@ -1,0 +1,366 @@
+"""Cell logic semantics shared by all simulators.
+
+Two views of the same truth tables:
+
+* :func:`eval_scalar` -- plain-Python evaluation of one cell on integer
+  bits, used by the event-driven reference simulator and by tests;
+* the ``CONTROLLING_VALUE`` table plus :func:`eval_vector` -- the
+  numpy-vectorized evaluation used by the levelized stream engine.
+
+Tri-state buffers are *transparent* here (output follows the data input
+regardless of enable).  This is a deliberate modelling decision, documented
+in DESIGN.md: in the bypassing multipliers every tri-state output is
+consumed only by logic that is masked away when the buffer is disabled, so
+transparency never changes a primary output; the power model separately
+freezes switching inside disabled groups, and the timing model treats a
+stably-disabled buffer as a quiet net.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..nets.cells import (
+    OP_AND2,
+    OP_AND3,
+    OP_BUF,
+    OP_INV,
+    OP_MUX2,
+    OP_NAND2,
+    OP_NOR2,
+    OP_OR2,
+    OP_OR3,
+    OP_TRIBUF,
+    OP_XNOR2,
+    OP_XOR2,
+)
+
+#: For simple gates: the input value that forces the output on its own
+#: (0 for AND/NAND, 1 for OR/NOR).  XOR-family and complex cells have no
+#: controlling value and are handled separately.
+CONTROLLING_VALUE = {
+    OP_AND2: 0,
+    OP_AND3: 0,
+    OP_NAND2: 0,
+    OP_OR2: 1,
+    OP_OR3: 1,
+    OP_NOR2: 1,
+}
+
+#: Whether the simple gate inverts (affects the output value only).
+INVERTING = {OP_NAND2, OP_NOR2, OP_INV, OP_XNOR2}
+
+
+def eval_scalar(opcode: int, inputs: Sequence[int]) -> int:
+    """Evaluate one cell on scalar bits.  ``TRIBUF`` is transparent."""
+    if opcode == OP_BUF:
+        return inputs[0]
+    if opcode == OP_INV:
+        return 1 - inputs[0]
+    if opcode == OP_AND2:
+        return inputs[0] & inputs[1]
+    if opcode == OP_OR2:
+        return inputs[0] | inputs[1]
+    if opcode == OP_NAND2:
+        return 1 - (inputs[0] & inputs[1])
+    if opcode == OP_NOR2:
+        return 1 - (inputs[0] | inputs[1])
+    if opcode == OP_XOR2:
+        return inputs[0] ^ inputs[1]
+    if opcode == OP_XNOR2:
+        return 1 - (inputs[0] ^ inputs[1])
+    if opcode == OP_MUX2:
+        d0, d1, select = inputs
+        return d1 if select else d0
+    if opcode == OP_TRIBUF:
+        return inputs[0]
+    if opcode == OP_AND3:
+        return inputs[0] & inputs[1] & inputs[2]
+    if opcode == OP_OR3:
+        return inputs[0] | inputs[1] | inputs[2]
+    raise SimulationError("unknown opcode %r" % (opcode,))
+
+
+def eval_tribuf_scalar(din: int, enable: int, held: int) -> int:
+    """Stateful scalar tri-state: drive ``din`` when enabled, else hold."""
+    return din if enable else held
+
+
+def eval_vector(opcode: int, values: Sequence[np.ndarray]) -> np.ndarray:
+    """Vectorized settled-value evaluation (transparent ``TRIBUF``)."""
+    if opcode == OP_BUF or opcode == OP_TRIBUF:
+        return values[0]
+    if opcode == OP_INV:
+        return values[0] ^ 1
+    if opcode == OP_AND2:
+        return values[0] & values[1]
+    if opcode == OP_OR2:
+        return values[0] | values[1]
+    if opcode == OP_NAND2:
+        return (values[0] & values[1]) ^ 1
+    if opcode == OP_NOR2:
+        return (values[0] | values[1]) ^ 1
+    if opcode == OP_XOR2:
+        return values[0] ^ values[1]
+    if opcode == OP_XNOR2:
+        return (values[0] ^ values[1]) ^ 1
+    if opcode == OP_MUX2:
+        d0, d1, select = values
+        return np.where(select.astype(bool), d1, d0).astype(np.uint8)
+    if opcode == OP_AND3:
+        return values[0] & values[1] & values[2]
+    if opcode == OP_OR3:
+        return values[0] | values[1] | values[2]
+    raise SimulationError("unknown opcode %r" % (opcode,))
+
+
+def arrival_vector(
+    opcode: int,
+    values: Sequence[np.ndarray],
+    mays: Sequence[np.ndarray],
+    arrivals: Sequence[np.ndarray],
+    delay: float,
+    out_may: Optional[np.ndarray] = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-cell (may-change, arrival) over a pattern axis.
+
+    Two modes, selected by ``out_may`` (see DESIGN.md section 5):
+
+    * **floating** (``out_may=None``): ``may`` marks nets that can change
+      *or glitch*; arrivals are a provable upper bound on the event-driven
+      transport-delay settle time.
+    * **inertial** (``out_may`` = "this net's settled value changed"):
+      only actual value changes propagate -- the glitch-filtered "last
+      transition" semantics a switch-level simulator such as Nanosim
+      reports, and the mode the paper's delay distributions are built on.
+
+    Arrival rules in both modes:
+
+    * a quiet controlling input pins the output: quiet;
+    * no input may change: quiet;
+    * a (possibly late) controlling input caps the arrival at the
+      earliest controlling input's settle time plus the cell delay;
+    * otherwise the output settles one delay after the last moving input.
+
+    Returns ``(may, arr)`` arrays.
+    """
+    if opcode in (OP_BUF, OP_INV):
+        may = mays[0] if out_may is None else out_may
+        arr = np.where(may, arrivals[0] + delay, 0.0)
+        return may, arr
+
+    if opcode in (OP_XOR2, OP_XNOR2):
+        may = (mays[0] | mays[1]) if out_may is None else out_may
+        last = np.maximum(
+            np.where(mays[0], arrivals[0], 0.0),
+            np.where(mays[1], arrivals[1], 0.0),
+        )
+        return may, np.where(may, last + delay, 0.0)
+
+    ctrl = CONTROLLING_VALUE.get(opcode)
+    if ctrl is not None:
+        return _arrival_controlled(
+            values, mays, arrivals, ctrl, delay, out_may
+        )
+
+    if opcode == OP_MUX2:
+        return _arrival_mux2(values, mays, arrivals, delay, out_may)
+
+    if opcode == OP_TRIBUF:
+        return _arrival_tribuf(values, mays, arrivals, delay, out_may)
+
+    raise SimulationError("no arrival rule for opcode %r" % (opcode,))
+
+
+def _arrival_controlled(values, mays, arrivals, ctrl, delay, out_may):
+    """Simple gates with a controlling input value (AND/OR/NAND/NOR)."""
+    is_ctrl = [value == ctrl for value in values]
+    if out_may is None:
+        stable_ctrl = np.zeros_like(mays[0])
+        any_may = np.zeros_like(mays[0])
+        for may, c in zip(mays, is_ctrl):
+            stable_ctrl |= c & ~may
+            any_may |= may
+        out_may = any_may & ~stable_ctrl
+
+    inf = np.float64(np.inf)
+    ctrl_arr = np.full(values[0].shape, inf)
+    last_arr = np.zeros(values[0].shape)
+    has_ctrl = np.zeros_like(is_ctrl[0])
+    for value, may, arr, c in zip(values, mays, arrivals, is_ctrl):
+        eff = np.where(may, arr, 0.0)
+        ctrl_arr = np.where(c, np.minimum(ctrl_arr, eff), ctrl_arr)
+        has_ctrl |= c
+        last_arr = np.maximum(last_arr, eff)
+    base = np.where(has_ctrl, ctrl_arr, last_arr)
+    arr = np.where(out_may, base + delay, 0.0)
+    return out_may, arr
+
+
+def _arrival_mux2(values, mays, arrivals, delay, out_may=None):
+    """2:1 mux: the settled select isolates the unselected data input.
+
+    The output is fixed once both the select and the *finally selected*
+    data input have settled: before that it may track either input, but
+    no event can land after ``max(select, selected-data) + delay``.  This
+    is what makes bypass chains fast even on the pattern where the select
+    bit itself just changed -- the bypassed full adder behind the
+    unselected pin can keep wiggling without stretching the mux output.
+    """
+    v0, v1, vs = values
+    may0, may1, may_s = mays
+    eff0 = np.where(may0, arrivals[0], 0.0)
+    eff1 = np.where(may1, arrivals[1], 0.0)
+    eff_s = np.where(may_s, arrivals[2], 0.0)
+    sel = vs.astype(bool)
+
+    chosen_may = np.where(sel, may1, may0)
+    chosen_eff = np.where(sel, eff1, eff0)
+    if out_may is None:
+        # If both data inputs are quiet and equal, the output is pinned
+        # even while the select moves.
+        pinned = ~may0 & ~may1 & (v0 == v1)
+        out_may = (may_s & ~pinned) | chosen_may
+    arr = np.where(out_may, np.maximum(eff_s, chosen_eff) + delay, 0.0)
+    return out_may, arr
+
+
+def _arrival_tribuf(values, mays, arrivals, delay, out_may=None):
+    """Tri-state buffer: quiet whenever it is stably disabled."""
+    vd, ve = values
+    may_d, may_e = mays
+    eff_d = np.where(may_d, arrivals[0], 0.0)
+    eff_e = np.where(may_e, arrivals[1], 0.0)
+    enabled = ve.astype(bool)
+
+    if out_may is None:
+        # Enable stable: acts as a wire when on, frozen when off.
+        out_may = np.where(may_e, True, enabled & may_d)
+    arr_moving = np.maximum(eff_e, np.where(enabled, eff_d, 0.0)) + delay
+    arr = np.where(out_may, arr_moving, 0.0)
+    return out_may, arr
+
+
+def transition_vector(
+    opcode: int,
+    values: Sequence[np.ndarray],
+    transitions: Sequence[np.ndarray],
+    changed: np.ndarray,
+    damping: float = 1.0,
+) -> np.ndarray:
+    """Per-pattern expected transition counts (glitches included).
+
+    Zero-delay toggle counting misses the dominant power term of deep
+    arrays: glitch activity.  This propagates value-conditioned
+    transition densities (Najm-style): each input transition produces an
+    output transition when the other inputs currently sensitize it.
+    Multipliers amplify this down their carry-save rows, which is why
+    the plain array multiplier burns more power than the (larger)
+    bypassing multipliers -- the effect Figs. 26-27(b) show.
+
+    Tri-state buffers pass no transitions while disabled, so bypassed
+    full adders are automatically quiet.  ``damping`` models inertial
+    pulse filtering: a gate only propagates a fraction of the glitch
+    trains arriving at its pins (narrow pulses die inside the gate), so
+    activity stays bounded down deep arrays.  The result is floored at
+    the functional toggle (``changed``) so power never drops below the
+    zero-delay estimate.
+    """
+    if opcode in (OP_BUF, OP_INV):
+        out = transitions[0]
+    elif opcode in (OP_XOR2, OP_XNOR2):
+        out = transitions[0] + transitions[1]
+    elif opcode in (OP_AND2, OP_NAND2):
+        a, b = values
+        out = transitions[0] * (b != 0) + transitions[1] * (a != 0)
+    elif opcode in (OP_OR2, OP_NOR2):
+        a, b = values
+        out = transitions[0] * (b == 0) + transitions[1] * (a == 0)
+    elif opcode == OP_AND3:
+        a, b, c = values
+        out = (
+            transitions[0] * ((b & c) != 0)
+            + transitions[1] * ((a & c) != 0)
+            + transitions[2] * ((a & b) != 0)
+        )
+    elif opcode == OP_OR3:
+        a, b, c = values
+        out = (
+            transitions[0] * ((b | c) == 0)
+            + transitions[1] * ((a | c) == 0)
+            + transitions[2] * ((a | b) == 0)
+        )
+    elif opcode == OP_MUX2:
+        d0, d1, select = values
+        chosen = np.where(select.astype(bool), transitions[1], transitions[0])
+        out = chosen + transitions[2] * (d0 != d1)
+    elif opcode == OP_TRIBUF:
+        din, enable = values
+        # Disabled: quiet.  Enable flips contribute one output event.
+        out = transitions[0] * (enable != 0) + transitions[1] * 0.5
+    else:
+        raise SimulationError("no transition rule for opcode %r" % (opcode,))
+    return np.maximum(out * damping, changed)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Combine a ``(width, n)`` LSB-first bit matrix into uint64 words."""
+    width, _ = bits.shape
+    if width > 64:
+        raise SimulationError("cannot pack more than 64 bits per word")
+    out = np.zeros(bits.shape[1], dtype=np.uint64)
+    for i in range(width):
+        out |= bits[i].astype(np.uint64) << np.uint64(i)
+    return out
+
+
+def unpack_bits(words: np.ndarray, width: int) -> np.ndarray:
+    """Split uint64 words into a ``(width, n)`` LSB-first bit matrix."""
+    words = np.asarray(words, dtype=np.uint64)
+    if width < 1 or width > 64:
+        raise SimulationError("width must lie in [1, 64]")
+    if width < 64 and np.any(words >> np.uint64(width)):
+        raise SimulationError("stimulus value does not fit in %d bits" % width)
+    bits = np.empty((width, words.shape[0]), dtype=np.uint8)
+    for i in range(width):
+        bits[i] = (words >> np.uint64(i)).astype(np.uint64) & np.uint64(1)
+    return bits
+
+
+def tribuf_masked_toggles(
+    values: np.ndarray,
+    enables: np.ndarray,
+    carry_value: Optional[int] = None,
+) -> "tuple[np.ndarray, Optional[int]]":
+    """Per-step toggle mask of a net that holds its value while disabled.
+
+    ``values`` is the transparent value stream, ``enables`` the group's
+    enable bit per step.  The *actual* net value is the transparent value
+    at the most recent enabled step (the tri-state hold).  Returns a
+    boolean per-step toggle mask and the held value after the last step
+    (for exact chunked accumulation).
+    """
+    n = values.shape[0]
+    if enables.shape[0] != n:
+        raise SimulationError("values and enables must have equal length")
+    en = enables.astype(bool)
+    idx = np.where(en, np.arange(n), -1)
+    last = np.maximum.accumulate(idx)
+    held = np.where(last >= 0, values[np.maximum(last, 0)], 0).astype(np.int16)
+    if carry_value is None:
+        # Before the first enabled step the net floats at its first held
+        # value: no observable toggle.
+        first_val = held[np.argmax(last >= 0)] if np.any(last >= 0) else 0
+        prev_first = first_val
+    else:
+        prev_first = carry_value
+    held = np.where(last >= 0, held, prev_first)
+    prev = np.empty_like(held)
+    prev[0] = prev_first
+    prev[1:] = held[:-1]
+    toggles = held != prev
+    final = int(held[-1]) if n else carry_value
+    return toggles, final

@@ -1,0 +1,98 @@
+"""Static timing analysis (value-independent worst case).
+
+The fixed-latency designs of the paper clock at the critical-path delay;
+:class:`StaticTiming` computes that delay by propagating worst-case
+arrival times topologically, ignoring logic values (every input can be
+late, every path can be sensitized).  It also extracts the critical path
+itself, which the aging experiments use to report which cells dominate
+degradation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_TECHNOLOGY, Technology
+from ..errors import SimulationError
+from ..nets.netlist import Cell, Netlist
+
+
+@dataclasses.dataclass
+class StaticTiming:
+    """Worst-case arrival analysis of one netlist."""
+
+    netlist: Netlist
+    technology: Technology = DEFAULT_TECHNOLOGY
+    delay_scale: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        self.netlist.validate()
+        scale = self.delay_scale
+        cells = self.netlist.cells
+        if scale is None:
+            scale = np.ones(len(cells))
+        else:
+            scale = np.asarray(scale, dtype=float)
+            if scale.shape != (len(cells),):
+                raise SimulationError(
+                    "delay_scale must have one entry per cell"
+                )
+        unit = self.technology.time_unit_ns
+        self._arrival: Dict[int, float] = {}
+        self._through: Dict[int, Cell] = {}
+        for cell in self.netlist.levelize():
+            delay = cell.cell_type.delay_units * unit * float(scale[cell.index])
+            worst_in = 0.0
+            for net in cell.inputs:
+                worst_in = max(worst_in, self._arrival.get(net, 0.0))
+            self._arrival[cell.output] = worst_in + delay
+            self._through[cell.output] = cell
+
+    def arrival(self, net: int) -> float:
+        """Worst-case arrival time of ``net`` in ns (0 for inputs)."""
+        return self._arrival.get(net, 0.0)
+
+    @property
+    def critical_delay(self) -> float:
+        """Worst-case delay to any primary output, in ns."""
+        worst = 0.0
+        for port in self.netlist.output_ports.values():
+            for net in port.nets:
+                worst = max(worst, self.arrival(net))
+        return worst
+
+    def critical_path(self) -> List[Cell]:
+        """Cells along the worst path, input side first."""
+        worst_net = None
+        worst = -1.0
+        for port in self.netlist.output_ports.values():
+            for net in port.nets:
+                if self.arrival(net) > worst:
+                    worst = self.arrival(net)
+                    worst_net = net
+        path: List[Cell] = []
+        net = worst_net
+        while net is not None and net in self._through:
+            cell = self._through[net]
+            path.append(cell)
+            # Step back through the latest-arriving input.
+            net = max(
+                cell.inputs, key=lambda n: self._arrival.get(n, 0.0), default=None
+            )
+            if net is not None and self._arrival.get(net, 0.0) == 0.0:
+                net = None
+        path.reverse()
+        return path
+
+
+def critical_path(
+    netlist: Netlist,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+    delay_scale: Optional[np.ndarray] = None,
+) -> Tuple[float, List[Cell]]:
+    """Convenience wrapper: (critical delay ns, cells along the path)."""
+    sta = StaticTiming(netlist, technology, delay_scale)
+    return sta.critical_delay, sta.critical_path()

@@ -1,0 +1,149 @@
+"""Process variation: Monte-Carlo die sampling (related work [19]).
+
+The paper's related work motivates input-based elastic clocking as a
+*process-variation* tolerance technique before it is an aging one; this
+module lets the architecture be evaluated across sampled process
+corners.  Per die:
+
+* a **global** (inter-die) lognormal factor shifts every cell together
+  (fast/slow corners);
+* a **local** (intra-die) lognormal factor perturbs each cell
+  independently (random dopant fluctuation and friends).
+
+The per-cell factors compose with aging factors, so a die can be both
+slow-corner and aged.  :func:`sample_dies` yields reproducible
+per-die delay-scale arrays; ``ext`` users combine them with
+:class:`~repro.timing.CompiledCircuit` directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nets.netlist import Netlist
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessVariation:
+    """Lognormal inter-/intra-die delay variation.
+
+    Args:
+        sigma_global: Standard deviation of the shared log-factor
+            (0.05 ~= a +-10% 2-sigma corner spread).
+        sigma_local: Standard deviation of the per-cell log-factor.
+    """
+
+    sigma_global: float = 0.05
+    sigma_local: float = 0.03
+
+    def __post_init__(self):
+        if self.sigma_global < 0 or self.sigma_local < 0:
+            raise ConfigError("sigmas must be non-negative")
+
+    def sample_die(
+        self, netlist: Netlist, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One die's per-cell delay factors (mean ~1)."""
+        num_cells = len(netlist.cells)
+        global_factor = float(
+            np.exp(rng.normal(0.0, self.sigma_global))
+        )
+        local = np.exp(rng.normal(0.0, self.sigma_local, num_cells))
+        return global_factor * local
+
+
+def sample_dies(
+    netlist: Netlist,
+    variation: ProcessVariation,
+    num_dies: int,
+    seed: int = 7,
+) -> Iterator[np.ndarray]:
+    """Reproducible stream of per-die delay-scale arrays."""
+    if num_dies < 1:
+        raise ConfigError("num_dies must be >= 1")
+    rng = np.random.default_rng(seed)
+    for _ in range(num_dies):
+        yield variation.sample_die(netlist, rng)
+
+
+@dataclasses.dataclass
+class YieldReport:
+    """Cross-die statistics of one design point."""
+
+    num_dies: int
+    latencies_ns: np.ndarray
+    error_rates: np.ndarray
+    feasible: np.ndarray
+
+    @property
+    def yield_fraction(self) -> float:
+        """Fraction of dies with no beyond-budget operations."""
+        return float(self.feasible.mean()) if self.num_dies else 0.0
+
+    @property
+    def worst_latency_ns(self) -> float:
+        return float(self.latencies_ns.max()) if self.num_dies else 0.0
+
+    @property
+    def mean_latency_ns(self) -> float:
+        return float(self.latencies_ns.mean()) if self.num_dies else 0.0
+
+    @property
+    def latency_spread(self) -> float:
+        """(max - min) / mean across dies -- the variation exposure."""
+        if self.num_dies == 0:
+            return 0.0
+        spread = self.latencies_ns.max() - self.latencies_ns.min()
+        return float(spread / self.latencies_ns.mean())
+
+
+def yield_analysis(
+    architecture,
+    num_dies: int = 25,
+    num_patterns: int = 2000,
+    variation: Optional[ProcessVariation] = None,
+    seed: int = 11,
+    years: float = 0.0,
+) -> YieldReport:
+    """Monte-Carlo the architecture across sampled dies.
+
+    Every die shares the workload; a die is *feasible* when no operation
+    blew the two-cycle budget (the Razor safety envelope held).
+    """
+    variation = variation or ProcessVariation()
+    netlist = architecture.netlist
+    rng = np.random.default_rng(seed)
+    high = 1 << architecture.width
+    md = rng.integers(0, high, num_patterns, dtype=np.uint64)
+    mr = rng.integers(0, high, num_patterns, dtype=np.uint64)
+
+    aging_scale = (
+        architecture.factory.delay_scale(years) if years else None
+    )
+    latencies = np.empty(num_dies)
+    error_rates = np.empty(num_dies)
+    feasible = np.empty(num_dies, dtype=bool)
+    for k, die_scale in enumerate(
+        sample_dies(netlist, variation, num_dies, seed=seed + 1)
+    ):
+        scale = (
+            die_scale if aging_scale is None else die_scale * aging_scale
+        )
+        circuit = architecture.factory.circuit(0.0).with_delay_scale(scale)
+        stream = circuit.run({"md": md, "mr": mr})
+        report = architecture.run_patterns(
+            md, mr, years=0.0, stream=stream
+        ).report
+        latencies[k] = report.average_latency_ns
+        error_rates[k] = report.error_rate
+        feasible[k] = report.deep_retry_ops == 0
+    return YieldReport(
+        num_dies=num_dies,
+        latencies_ns=latencies,
+        error_rates=error_rates,
+        feasible=feasible,
+    )

@@ -1,0 +1,32 @@
+"""Workload generation: the paper's random streams (Section IV) plus
+application-shaped streams for the motivating DSP domains."""
+
+from .generators import (
+    PatternStream,
+    operands_with_zero_count,
+    uniform_operands,
+    walking_ones,
+    zero_weighted_operands,
+)
+from .dsp import dct_stream, fir_filter_stream, image_gradient_stream
+from .markov import (
+    bit_markov_stream,
+    correlated_operands,
+    lazy_stream,
+    random_walk_stream,
+)
+
+__all__ = [
+    "PatternStream",
+    "bit_markov_stream",
+    "correlated_operands",
+    "lazy_stream",
+    "random_walk_stream",
+    "dct_stream",
+    "fir_filter_stream",
+    "image_gradient_stream",
+    "operands_with_zero_count",
+    "uniform_operands",
+    "walking_ones",
+    "zero_weighted_operands",
+]

@@ -1,0 +1,124 @@
+"""Application-shaped workloads (the paper's motivating domains).
+
+The introduction motivates the multiplier with Fourier transforms,
+discrete cosine transforms and digital filtering.  These generators
+produce the operand streams such kernels actually feed a multiplier:
+
+* :func:`fir_filter_stream` -- a direct-form FIR filter: a short,
+  *fixed* coefficient vector (multiplicand) against a sliding window of
+  samples (multiplicator).  Coefficients are reused heavily, so the
+  column-bypassing design's delay is dominated by a few coefficient
+  zero-counts -- the situation where choosing the judged operand
+  (md vs mr) matters most.
+* :func:`dct_stream` -- an 8-point DCT-II butterfly's coefficient and
+  sample pairs, quantized to the operand width.
+* :func:`image_gradient_stream` -- pixel pairs from a synthetic image
+  with smooth gradients plus noise; neighbouring operands are strongly
+  correlated, lowering switching activity relative to uniform noise.
+
+All values are unsigned ``width``-bit magnitudes (the paper's
+multipliers are unsigned): signed kernels are folded by magnitude, which
+preserves the zero-count statistics that drive the architecture.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+def _quantize(values: np.ndarray, width: int) -> np.ndarray:
+    """Map real values in [-1, 1] to unsigned width-bit magnitudes."""
+    top = (1 << width) - 1
+    magnitudes = np.clip(np.abs(values), 0.0, 1.0)
+    return np.round(magnitudes * top).astype(np.uint64)
+
+
+def fir_filter_stream(
+    width: int,
+    num_patterns: int,
+    num_taps: int = 16,
+    seed: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Direct-form FIR convolution operand stream.
+
+    Returns ``(md, mr)``: the multiplicand stream cycles through the
+    ``num_taps`` fixed coefficients of a low-pass windowed-sinc filter;
+    the multiplicator stream is the corresponding sliding-window sample.
+    """
+    _check(width, num_patterns)
+    if num_taps < 1:
+        raise WorkloadError("num_taps must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    # Hamming-windowed sinc taps, normalized to peak 1.
+    n = np.arange(num_taps)
+    centred = n - (num_taps - 1) / 2.0
+    taps = np.sinc(centred / 3.0) * np.hamming(num_taps)
+    taps /= np.abs(taps).max()
+    coefficients = _quantize(taps, width)
+
+    samples = rng.normal(0.0, 0.35, num_patterns + num_taps)
+    samples = np.clip(samples, -1.0, 1.0)
+
+    md = np.empty(num_patterns, dtype=np.uint64)
+    mr = np.empty(num_patterns, dtype=np.uint64)
+    quantized = _quantize(samples, width)
+    for k in range(num_patterns):
+        md[k] = coefficients[k % num_taps]
+        mr[k] = quantized[k // num_taps + (k % num_taps)]
+    return md, mr
+
+
+def dct_stream(
+    width: int,
+    num_patterns: int,
+    seed: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """8-point DCT-II coefficient x sample operand pairs."""
+    _check(width, num_patterns)
+    rng = np.random.default_rng(seed)
+    # DCT-II basis cosines for an 8-point transform.
+    basis = np.array(
+        [
+            math.cos((2 * x + 1) * u * math.pi / 16.0)
+            for u in range(8)
+            for x in range(8)
+        ]
+    )
+    coefficients = _quantize(basis, width)
+    samples = _quantize(
+        np.clip(rng.normal(0.0, 0.4, num_patterns), -1, 1), width
+    )
+    md = coefficients[np.arange(num_patterns) % coefficients.size]
+    return md.astype(np.uint64), samples
+
+
+def image_gradient_stream(
+    width: int,
+    num_patterns: int,
+    seed: int = 1,
+    noise: float = 0.05,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Neighbouring-pixel pairs from a smooth synthetic image."""
+    _check(width, num_patterns)
+    rng = np.random.default_rng(seed)
+    side = int(math.ceil(math.sqrt(num_patterns + 1)))
+    gradient = np.linspace(0.0, 1.0, side)
+    image = 0.5 * (gradient[:, None] + gradient[None, :])
+    image = np.clip(image + rng.normal(0.0, noise, image.shape), 0.0, 1.0)
+    flat = _quantize(image.ravel() * 2 - 1, width)
+    md = flat[:num_patterns]
+    mr = flat[1 : num_patterns + 1]
+    return md.astype(np.uint64), mr.astype(np.uint64)
+
+
+def _check(width: int, num_patterns: int) -> None:
+    if not 1 <= width <= 63:
+        raise WorkloadError("width must lie in [1, 63]")
+    if num_patterns < 1:
+        raise WorkloadError("num_patterns must be >= 1")

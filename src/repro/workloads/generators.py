@@ -1,0 +1,123 @@
+"""Seeded pattern generators.
+
+The paper drives every experiment with uniformly random operands (65 536
+patterns for the delay distributions, 3 000 for the zero-count study of
+Fig. 6, 10 000 for the latency sweeps).  These generators reproduce those
+workloads deterministically, plus a few structured streams used by the
+extra examples and ablations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+def uniform_operands(
+    width: int, num_patterns: int, seed: int = 1
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniformly random ``(md, mr)`` streams (the paper's workload)."""
+    _check(width, num_patterns)
+    rng = np.random.default_rng(seed)
+    high = 1 << width
+    md = rng.integers(0, high, num_patterns, dtype=np.uint64)
+    mr = rng.integers(0, high, num_patterns, dtype=np.uint64)
+    return md, mr
+
+
+def operands_with_zero_count(
+    width: int, num_patterns: int, zeros: int, seed: int = 1
+) -> np.ndarray:
+    """Random operands with *exactly* ``zeros`` zero bits (Fig. 6).
+
+    Zero positions are chosen uniformly among the :math:`\\binom{w}{z}`
+    possibilities, independently per pattern.
+    """
+    _check(width, num_patterns)
+    if not 0 <= zeros <= width:
+        raise WorkloadError(
+            "zeros must lie in [0, %d], got %d" % (width, zeros)
+        )
+    rng = np.random.default_rng(seed)
+    ones = width - zeros
+    values = np.zeros(num_patterns, dtype=np.uint64)
+    for k in range(num_patterns):
+        positions = rng.choice(width, size=ones, replace=False)
+        word = 0
+        for position in positions:
+            word |= 1 << int(position)
+        values[k] = word
+    return values
+
+
+def zero_weighted_operands(
+    width: int,
+    num_patterns: int,
+    one_probability: float,
+    seed: int = 1,
+) -> np.ndarray:
+    """Operands whose bits are i.i.d. Bernoulli(``one_probability``).
+
+    Sweeping ``one_probability`` shifts the zero-count distribution and
+    with it the one-cycle pattern ratio -- used by the ablation
+    benchmarks to probe non-uniform workloads.
+    """
+    _check(width, num_patterns)
+    if not 0.0 <= one_probability <= 1.0:
+        raise WorkloadError("one_probability must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    bits = rng.random((num_patterns, width)) < one_probability
+    values = np.zeros(num_patterns, dtype=np.uint64)
+    for lane in range(width):
+        values |= bits[:, lane].astype(np.uint64) << np.uint64(lane)
+    return values
+
+
+def walking_ones(width: int, num_patterns: int) -> np.ndarray:
+    """A deterministic walking-ones stream (corner-case workload)."""
+    _check(width, num_patterns)
+    lanes = np.arange(num_patterns) % width
+    return (np.uint64(1) << lanes.astype(np.uint64)).astype(np.uint64)
+
+
+@dataclasses.dataclass(frozen=True)
+class PatternStream:
+    """A named, reproducible operand stream."""
+
+    name: str
+    width: int
+    md: np.ndarray
+    mr: np.ndarray
+
+    def __post_init__(self):
+        if self.md.shape != self.mr.shape:
+            raise WorkloadError("md and mr must be equally long")
+
+    @property
+    def num_patterns(self) -> int:
+        return int(self.md.shape[0])
+
+    def windows(self, size: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate ``(md, mr)`` windows of at most ``size`` patterns."""
+        if size < 1:
+            raise WorkloadError("window size must be >= 1")
+        for start in range(0, self.num_patterns, size):
+            yield self.md[start : start + size], self.mr[start : start + size]
+
+    @classmethod
+    def uniform(
+        cls, width: int, num_patterns: int, seed: int = 1, name: str = ""
+    ) -> "PatternStream":
+        md, mr = uniform_operands(width, num_patterns, seed)
+        return cls(name or "uniform-%d" % seed, width, md, mr)
+
+
+def _check(width: int, num_patterns: int) -> None:
+    if not 1 <= width <= 63:
+        raise WorkloadError("width must lie in [1, 63], got %d" % width)
+    if num_patterns < 1:
+        raise WorkloadError("num_patterns must be >= 1")

@@ -1,0 +1,75 @@
+"""Shared fixtures.
+
+Session-scoped, because netlist generation and characterization dominate
+test wall-clock: the 16x16 multipliers and the experiment context are
+built once and shared read-only across test modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arith import (
+    array_multiplier,
+    column_bypass_multiplier,
+    row_bypass_multiplier,
+)
+from repro.experiments.context import ExperimentContext
+from repro.timing import CompiledCircuit
+from repro.workloads import uniform_operands
+
+
+@pytest.fixture(scope="session")
+def am4():
+    return array_multiplier(4)
+
+
+@pytest.fixture(scope="session")
+def cb4():
+    return column_bypass_multiplier(4)
+
+
+@pytest.fixture(scope="session")
+def rb4():
+    return row_bypass_multiplier(4)
+
+
+@pytest.fixture(scope="session")
+def cb16():
+    return column_bypass_multiplier(16)
+
+
+@pytest.fixture(scope="session")
+def am16():
+    return array_multiplier(16)
+
+
+@pytest.fixture(scope="session")
+def rb16():
+    return row_bypass_multiplier(16)
+
+
+@pytest.fixture(scope="session")
+def cb16_circuit(cb16):
+    return CompiledCircuit(cb16)
+
+
+@pytest.fixture(scope="session")
+def stream16():
+    return uniform_operands(16, 2000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def exhaustive4():
+    """All 256 operand pairs for 4-bit multipliers."""
+    n = 16
+    a = np.repeat(np.arange(n, dtype=np.uint64), n)
+    b = np.tile(np.arange(n, dtype=np.uint64), n)
+    return a, b
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Small-scale experiment context shared by experiment tests."""
+    return ExperimentContext(scale=0.05, characterize_patterns=400)

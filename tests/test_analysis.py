@@ -1,0 +1,71 @@
+"""Histogram, table and series helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Histogram, Series, format_table, improvement
+from repro.errors import SimulationError
+
+
+class TestHistogram:
+    def test_fraction_below(self):
+        hist = Histogram.from_samples(
+            [0.1, 0.2, 0.3, 0.9], num_bins=10, limits=(0.0, 1.0)
+        )
+        assert hist.fraction_below(0.5) == pytest.approx(0.75)
+        assert hist.total == 4
+
+    def test_mean_estimate(self):
+        data = np.random.default_rng(1).normal(5.0, 0.5, 5000)
+        hist = Histogram.from_samples(data, num_bins=50)
+        assert hist.mean() == pytest.approx(data.mean(), abs=0.05)
+
+    def test_mode_bin(self):
+        hist = Histogram.from_samples(
+            [1.0] * 10 + [2.0], num_bins=4, limits=(0.0, 4.0)
+        )
+        lo, hi = hist.mode_bin()
+        assert lo <= 1.0 <= hi
+
+    def test_render_contains_bars(self):
+        hist = Histogram.from_samples([1, 1, 2], num_bins=2, name="demo")
+        text = hist.render()
+        assert "demo" in text
+        assert "#" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            Histogram.from_samples([])
+
+
+class TestSeries:
+    series = Series.build("s", [1.0, 2.0, 3.0], [5.0, 2.0, 4.0])
+
+    def test_best(self):
+        assert self.series.best() == (2.0, 2.0)
+
+    def test_at_nearest(self):
+        assert self.series.at(2.2) == 2.0
+
+    def test_crossings(self):
+        assert self.series.crossings_below(4.5) == [2.0, 3.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            Series.build("bad", [1.0], [1.0, 2.0])
+
+
+class TestTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["long-name", 0.25]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+        assert "1.5" in text
+
+    def test_improvement(self):
+        assert improvement(0.75, 1.0) == pytest.approx(0.25)
+        with pytest.raises(SimulationError):
+            improvement(1.0, 0.0)

@@ -1,0 +1,205 @@
+"""The full aging-aware variable-latency architecture."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_SIM_CONFIG, SimulationConfig
+from repro.core import AgingAwareMultiplier
+from repro.errors import ConfigError, SimulationError
+from repro.workloads import uniform_operands
+
+
+@pytest.fixture(scope="module")
+def avlcb8():
+    """A small adaptive column-bypassing architecture shared read-only."""
+    return AgingAwareMultiplier.build(
+        8, "column", skip=3, cycle_ns=0.5, characterize_patterns=300
+    )
+
+
+class TestBuild:
+    def test_defaults(self, avlcb8):
+        assert avlcb8.width == 8
+        assert avlcb8.kind == "column"
+        assert avlcb8.name.startswith("A-VLCB-8")
+
+    def test_default_skip_and_cycle(self):
+        arch = AgingAwareMultiplier.build(8, "row", characterize_patterns=200)
+        assert arch.skip == 3  # width//2 - 1
+        assert arch.cycle_ns == pytest.approx(
+            0.5 * arch.critical_path_ns(), rel=1e-6
+        )
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            AgingAwareMultiplier.build(8, "diagonal")
+
+    def test_bad_cycle_rejected(self, avlcb8):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(avlcb8, cycle_ns=0.0)
+
+    def test_with_cycle_shares_factory(self, avlcb8):
+        sibling = avlcb8.with_cycle(0.7)
+        assert sibling.factory is avlcb8.factory
+        assert sibling.cycle_ns == 0.7
+
+    def test_with_skip(self, avlcb8):
+        sibling = avlcb8.with_skip(4)
+        assert sibling.skip == 4
+        assert "skip4" in sibling.name
+
+
+class TestRunAccounting:
+    def test_cycle_accounting_identity(self, avlcb8):
+        """total = 1-cycle + 2 x 2-cycle + penalty x errors."""
+        result = avlcb8.run_random(1500, seed=3)
+        report = result.report
+        penalty = DEFAULT_SIM_CONFIG.razor_penalty_cycles
+        expected = (
+            report.one_cycle_ops
+            + 2 * report.two_cycle_ops
+            + penalty * report.error_count
+        )
+        assert report.total_cycles == expected
+        assert report.num_ops == 1500
+        assert report.one_cycle_ops + report.two_cycle_ops == 1500
+
+    def test_latency_definition(self, avlcb8):
+        report = avlcb8.run_random(500, seed=5).report
+        assert report.average_latency_ns == pytest.approx(
+            report.total_cycles * avlcb8.cycle_ns / 500
+        )
+        assert report.average_cycles_per_op == pytest.approx(
+            report.total_cycles / 500
+        )
+
+    def test_products_are_correct(self, avlcb8):
+        result = avlcb8.run_random(800, seed=7, check_golden=True)
+        assert result.golden_ok is True
+
+    def test_errors_subset_of_one_cycle(self, avlcb8):
+        result = avlcb8.run_random(800, seed=9)
+        assert not np.any(result.errors & ~result.one_cycle)
+
+    def test_errors_are_late_one_cycle_patterns(self, avlcb8):
+        result = avlcb8.run_random(800, seed=11)
+        late = result.delays > avlcb8.cycle_ns
+        assert np.array_equal(result.errors, result.one_cycle & late)
+
+    def test_window_error_trace(self, avlcb8):
+        report = avlcb8.run_random(350, seed=13).report
+        assert len(report.window_errors) == 4  # 100+100+100+50
+        assert sum(report.window_errors) == report.error_count
+        assert len(report.indicator_trace) == 4
+
+    def test_deep_retry_accounting(self, avlcb8):
+        """Below the two-cycle budget, operations take the slow retry:
+        razor_penalty + ceil(delay / T) cycles."""
+        tight = avlcb8.with_cycle(0.12)
+        result = tight.run_random(600, seed=29)
+        report = result.report
+        assert report.deep_retry_ops > 0
+        over = result.delays > 2 * tight.cycle_ns
+        assert report.deep_retry_ops == int(over.sum())
+        penalty = DEFAULT_SIM_CONFIG.razor_penalty_cycles
+        expected_over = (
+            penalty * over.sum()
+            + np.ceil(result.delays[over] / tight.cycle_ns).sum()
+        )
+        base = np.where(result.one_cycle, 1.0 + result.errors * penalty, 2.0)
+        # Over-budget two-cycle ops count as errors too (Razor catches
+        # them at the two-cycle boundary).
+        assert np.all(result.errors[over])
+        expected = base[~over].sum() + expected_over
+        assert report.total_cycles == pytest.approx(expected)
+
+    def test_latency_turns_back_up_at_short_cycles(self, avlcb8):
+        """The slow retry creates the paper's preferred-region shape:
+        pushing the clock below the error cliff costs latency again."""
+        crit = avlcb8.critical_path_ns()
+        shortest, knee = [
+            avlcb8.with_cycle(f * crit).run_random(1500, seed=31)
+            .report.average_latency_ns
+            for f in (0.18, 0.32)
+        ]
+        assert shortest > knee
+
+    def test_generous_cycle_no_errors(self, avlcb8):
+        relaxed = avlcb8.with_cycle(2 * avlcb8.critical_path_ns())
+        report = relaxed.run_random(500, seed=15).report
+        assert report.error_count == 0
+        assert report.undetectable_count == 0
+
+    def test_one_cycle_ratio_matches_judging(self, avlcb8):
+        n = 2000
+        result = avlcb8.with_cycle(5.0).run_random(n, seed=17)
+        # With a generous cycle the indicator never flips, so the ratio
+        # is the Skip-3 binomial tail (~85.5% for 8 bits).
+        assert result.report.one_cycle_ratio == pytest.approx(0.855, abs=0.03)
+
+    def test_mismatched_operands_rejected(self, avlcb8):
+        with pytest.raises(SimulationError):
+            avlcb8.run_patterns(np.zeros(3, dtype=np.uint64),
+                                np.zeros(4, dtype=np.uint64))
+
+    def test_precomputed_stream_must_match(self, avlcb8):
+        md, mr = uniform_operands(8, 50, seed=19)
+        stream = avlcb8.factory.circuit(0.0).run({"md": md, "mr": mr})
+        with pytest.raises(SimulationError):
+            avlcb8.run_patterns(md[:25], mr[:25], stream=stream)
+
+    def test_precomputed_stream_reused(self, avlcb8):
+        md, mr = uniform_operands(8, 300, seed=21)
+        stream = avlcb8.factory.circuit(0.0).run({"md": md, "mr": mr})
+        direct = avlcb8.run_patterns(md, mr)
+        reused = avlcb8.run_patterns(md, mr, stream=stream)
+        assert (
+            direct.report.average_latency_ns
+            == reused.report.average_latency_ns
+        )
+
+
+class TestAgingBehaviour:
+    def test_errors_increase_with_age(self, avlcb8):
+        """Same clock, older circuit: more Razor violations."""
+        traditional = dataclasses.replace(avlcb8, adaptive=False, name="")
+        fresh = traditional.run_random(2000, seed=23, years=0.0).report
+        aged = traditional.run_random(2000, seed=23, years=7.0).report
+        assert aged.error_count > fresh.error_count
+
+    def test_adaptive_reduces_errors(self, avlcb8):
+        traditional = dataclasses.replace(avlcb8, adaptive=False, name="")
+        adaptive = avlcb8.run_random(2000, seed=25, years=7.0).report
+        trad = traditional.run_random(2000, seed=25, years=7.0).report
+        assert adaptive.error_count <= trad.error_count
+
+    def test_indicator_flips_on_aged_circuit(self, avlcb8):
+        tight = avlcb8.with_cycle(0.85 * avlcb8.cycle_ns)
+        report = tight.run_random(2000, seed=27, years=7.0).report
+        assert report.indicator_aged_at >= 0
+
+    def test_critical_path_grows(self, avlcb8):
+        assert avlcb8.critical_path_ns(7.0) > avlcb8.critical_path_ns(0.0)
+
+    def test_row_kind_judges_multiplicator(self):
+        arch = AgingAwareMultiplier.build(
+            8, "row", skip=3, cycle_ns=0.5, characterize_patterns=200
+        )
+        md = np.zeros(4, dtype=np.uint64)
+        mr = np.full(4, 255, dtype=np.uint64)
+        assert np.array_equal(arch.judged_operand(md, mr), mr)
+
+
+class TestArea:
+    def test_area_report_composition(self, avlcb8):
+        report = avlcb8.area()
+        assert report.razor_flip_flops > 0
+        assert report.ahl > 0
+        assert report.total == (
+            report.combinational
+            + report.flip_flops
+            + report.razor_flip_flops
+            + report.ahl
+        )

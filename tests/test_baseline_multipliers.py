@@ -1,0 +1,122 @@
+"""Wallace-tree and radix-4 Booth baselines."""
+
+import numpy as np
+import pytest
+
+from repro.arith import (
+    array_multiplier,
+    booth_multiplier,
+    dadda_multiplier,
+    golden_products,
+    wallace_multiplier,
+)
+from repro.arith.booth import booth_digit_values
+from repro.errors import NetlistError
+from repro.timing import CompiledCircuit, StaticTiming
+from repro.workloads import uniform_operands
+
+
+class TestBoothRecoding:
+    @pytest.mark.parametrize("width", [2, 4, 6, 8])
+    def test_digits_reconstruct_value(self, width):
+        for value in range(1 << width):
+            digits = booth_digit_values(value, width)
+            assert sum(d * 4**i for i, d in enumerate(digits)) == value
+
+    def test_digit_range(self):
+        for value in range(256):
+            assert all(
+                -2 <= d <= 2 for d in booth_digit_values(value, 8)
+            )
+
+
+@pytest.mark.parametrize(
+    "generator", [wallace_multiplier, booth_multiplier, dadda_multiplier]
+)
+class TestBaselineCorrectness:
+    def test_exhaustive_4bit(self, generator):
+        netlist = generator(4)
+        circuit = CompiledCircuit(netlist)
+        a = np.repeat(np.arange(16, dtype=np.uint64), 16)
+        b = np.tile(np.arange(16, dtype=np.uint64), 16)
+        result = circuit.run({"md": a, "mr": b})
+        assert np.array_equal(result.outputs["p"], golden_products(a, b, 4))
+
+    def test_exhaustive_6bit(self, generator):
+        netlist = generator(6)
+        circuit = CompiledCircuit(netlist)
+        a = np.repeat(np.arange(64, dtype=np.uint64), 64)
+        b = np.tile(np.arange(64, dtype=np.uint64), 64)
+        result = circuit.run({"md": a, "mr": b})
+        assert np.array_equal(result.outputs["p"], golden_products(a, b, 6))
+
+    def test_random_16bit(self, generator):
+        netlist = generator(16)
+        circuit = CompiledCircuit(netlist)
+        md, mr = uniform_operands(16, 2000, seed=61)
+        result = circuit.run({"md": md, "mr": mr})
+        assert np.array_equal(
+            result.outputs["p"], golden_products(md, mr, 16)
+        )
+
+    def test_width_one_rejected(self, generator):
+        with pytest.raises(NetlistError):
+            generator(1)
+
+
+class TestBaselineStructure:
+    def test_booth_halves_partial_product_rows(self):
+        """Radix-4 recoding: fewer AND-plane cells than the array."""
+        am = array_multiplier(16)
+        booth = booth_multiplier(16)
+        am_ands = sum(
+            1 for c in am.cells if c.name.startswith("pp_")
+        )
+        assert am_ands == 256
+        # Booth has no 256-cell AND plane; its magnitude muxing is
+        # bounded by (width/2 + 1) * (width + 1) rows of select logic.
+        assert len(booth.cells) < len(am.cells) * 1.5
+
+    def test_wallace_reduction_is_logarithmic(self):
+        """The carry-save reduction (everything before the final CPA)
+        grows logarithmically: doubling the width adds only a couple of
+        compression levels, while the array's CSA rows double."""
+        depth8 = wallace_multiplier(8).max_logic_depth()
+        depth16 = wallace_multiplier(16).max_logic_depth()
+        am8 = array_multiplier(8).max_logic_depth()
+        am16 = array_multiplier(16).max_logic_depth()
+        # Depth growth 8 -> 16 (CPA dominated): well below the array's.
+        assert (depth16 - depth8) < (am16 - am8)
+
+    def test_dadda_depth_beats_wallace(self):
+        """The height-targeted schedule avoids the carry ripple of the
+        greedy column-wise one."""
+        assert (
+            dadda_multiplier(16).max_logic_depth()
+            < wallace_multiplier(16).max_logic_depth()
+        )
+
+    def test_dadda_heights_sequence(self):
+        from repro.arith.reduction import dadda_heights
+
+        assert dadda_heights(16) == [13, 9, 6, 4, 3, 2]
+        assert dadda_heights(3) == [2]
+        assert dadda_heights(2) == []
+
+    def test_tight_delay_distribution(self):
+        """Tree multipliers have a much tighter per-pattern delay spread
+        than the bypassing designs -- why they host variable latency
+        poorly (ext_baselines)."""
+        from repro.arith import column_bypass_multiplier
+
+        md, mr = uniform_operands(16, 1500, seed=67)
+        spreads = {}
+        for generator in (wallace_multiplier, column_bypass_multiplier):
+            netlist = generator(16)
+            delays = CompiledCircuit(netlist).run(
+                {"md": md, "mr": mr}
+            ).delays
+            spreads[netlist.name] = np.quantile(delays, 0.95) / np.quantile(
+                delays, 0.5
+            )
+        assert spreads["wallace-16x16"] < spreads["cb-16x16"]

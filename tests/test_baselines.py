@@ -1,0 +1,53 @@
+"""Fixed-latency baselines."""
+
+import pytest
+
+from repro.core.baselines import FixedLatencyDesign, build_multiplier
+from repro.errors import ConfigError
+from repro.timing import StaticTiming
+
+
+@pytest.fixture(scope="module")
+def flcb8():
+    return FixedLatencyDesign.build(8, "column", characterize_patterns=300)
+
+
+class TestBuildMultiplier:
+    def test_dispatch(self):
+        assert build_multiplier(4, "am").name == "am-4x4"
+        assert build_multiplier(4, "column").name == "cb-4x4"
+        assert build_multiplier(4, "row").name == "rb-4x4"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            build_multiplier(4, "booth")
+
+
+class TestFixedLatencyDesign:
+    def test_latency_is_critical_path(self, flcb8):
+        sta = StaticTiming(flcb8.netlist, flcb8.technology)
+        assert flcb8.latency_ns(0.0) == pytest.approx(sta.critical_delay)
+
+    def test_latency_grows_with_age(self, flcb8):
+        assert flcb8.latency_ns(7.0) > flcb8.latency_ns(0.0)
+
+    def test_latency_cached(self, flcb8):
+        assert flcb8.latency_ns(5.0) == flcb8.latency_ns(5.0)
+
+    def test_degradation_ratio_matches_calibration(self):
+        """The 16x16 CB calibration target: ~13% at 7 years (Fig. 7)."""
+        design = FixedLatencyDesign.build(
+            16, "column", characterize_patterns=800
+        )
+        assert design.degradation_ratio(7.0) == pytest.approx(0.13, abs=0.02)
+
+    def test_run_stream(self, flcb8):
+        import numpy as np
+
+        md = np.arange(20, dtype=np.uint64)
+        mr = np.arange(20, dtype=np.uint64)
+        result = flcb8.run_stream(md, mr)
+        assert result.num_patterns == 20
+
+    def test_name_defaults_to_netlist(self, flcb8):
+        assert flcb8.name == flcb8.netlist.name

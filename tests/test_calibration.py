@@ -1,0 +1,51 @@
+"""Calibration reproduces the shipped technology defaults."""
+
+import pytest
+
+from repro.config import DEFAULT_TECHNOLOGY
+from repro.errors import CalibrationError
+from repro.experiments.calibration import (
+    AM16_CRITICAL_NS,
+    SEVEN_YEAR_DRIFT,
+    calibrate_bti_prefactor,
+    calibrate_time_unit,
+)
+from repro.timing import StaticTiming
+from repro.arith import array_multiplier
+
+
+class TestTimeUnit:
+    def test_matches_shipped_default(self):
+        fitted = calibrate_time_unit()
+        assert fitted.time_unit_ns == pytest.approx(
+            DEFAULT_TECHNOLOGY.time_unit_ns, rel=1e-6
+        )
+
+    def test_hits_target(self):
+        fitted = calibrate_time_unit(target_ns=2.0)
+        crit = StaticTiming(array_multiplier(16), fitted).critical_delay
+        assert crit == pytest.approx(2.0, rel=1e-9)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_time_unit(target_ns=0.0)
+
+    def test_paper_target_constant(self):
+        assert AM16_CRITICAL_NS == 1.32
+
+
+class TestBTIPrefactor:
+    def test_matches_shipped_default(self):
+        fitted = calibrate_bti_prefactor(characterize_patterns=600)
+        # Stress profiles differ slightly run to run; the fitted
+        # prefactor must land near the shipped constant.
+        assert fitted.bti_prefactor == pytest.approx(
+            DEFAULT_TECHNOLOGY.bti_prefactor, rel=0.15
+        )
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_bti_prefactor(target_drift=1.5)
+
+    def test_paper_target_constant(self):
+        assert SEVEN_YEAR_DRIFT == pytest.approx(0.13)

@@ -1,0 +1,97 @@
+"""Cell library contents and invariants."""
+
+import pytest
+
+from repro.errors import ConfigError, UnknownCellError
+from repro.nets.cells import (
+    CellLibrary,
+    CellType,
+    DFF_TRANSISTORS,
+    OP_INV,
+    OP_MUX2,
+    RAZOR_FF_TRANSISTORS,
+    STANDARD_LIBRARY,
+)
+
+
+class TestStandardLibrary:
+    EXPECTED = {
+        "BUF", "INV", "AND2", "OR2", "NAND2", "NOR2",
+        "XOR2", "XNOR2", "MUX2", "TRIBUF", "AND3", "OR3",
+    }
+
+    def test_contains_expected_cells(self):
+        assert set(STANDARD_LIBRARY.names()) == self.EXPECTED
+
+    def test_opcodes_unique(self):
+        opcodes = [cell.opcode for cell in STANDARD_LIBRARY]
+        assert len(set(opcodes)) == len(opcodes)
+
+    def test_inverter_is_the_fastest(self):
+        inv = STANDARD_LIBRARY.get("INV")
+        for cell in STANDARD_LIBRARY:
+            assert cell.delay_units >= inv.delay_units
+
+    def test_nand_faster_than_and(self):
+        # Logical effort: the non-inverting gate pays an extra stage.
+        assert (
+            STANDARD_LIBRARY.get("NAND2").delay_units
+            < STANDARD_LIBRARY.get("AND2").delay_units
+        )
+
+    def test_xor_is_a_slow_complex_gate(self):
+        xor = STANDARD_LIBRARY.get("XOR2")
+        assert xor.delay_units > STANDARD_LIBRARY.get("NAND2").delay_units
+        assert xor.transistors == 10
+
+    def test_pin_counts(self):
+        assert STANDARD_LIBRARY.get("MUX2").num_inputs == 3
+        assert STANDARD_LIBRARY.get("TRIBUF").num_inputs == 2
+        assert STANDARD_LIBRARY.get("AND3").num_inputs == 3
+        assert STANDARD_LIBRARY.get("INV").num_inputs == 1
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(UnknownCellError):
+            STANDARD_LIBRARY.get("XOR5")
+
+    def test_contains_protocol(self):
+        assert "XOR2" in STANDARD_LIBRARY
+        assert "FOO" not in STANDARD_LIBRARY
+
+    def test_sequential_weights(self):
+        assert RAZOR_FF_TRANSISTORS > DFF_TRANSISTORS
+        assert DFF_TRANSISTORS == 24
+
+
+class TestCellType:
+    def test_validation_rejects_bad_delay(self):
+        with pytest.raises(ConfigError):
+            CellType("BAD", OP_INV, 1, 0.0, 2, 1.0)
+
+    def test_validation_rejects_zero_inputs(self):
+        with pytest.raises(ConfigError):
+            CellType("BAD", OP_INV, 0, 1.0, 2, 1.0)
+
+    def test_validation_rejects_bad_pmos_fraction(self):
+        with pytest.raises(ConfigError):
+            CellType("BAD", OP_INV, 1, 1.0, 2, 1.0, pmos_fraction=1.5)
+
+    def test_frozen(self):
+        cell = STANDARD_LIBRARY.get("INV")
+        with pytest.raises(Exception):
+            cell.delay_units = 5.0
+
+
+class TestCellLibrary:
+    def test_duplicate_registration_rejected(self):
+        lib = CellLibrary("test")
+        lib.add(CellType("INV", OP_INV, 1, 1.0, 2, 1.0))
+        with pytest.raises(ConfigError):
+            lib.add(CellType("INV", OP_INV, 1, 2.0, 2, 1.0))
+
+    def test_len_and_iter(self):
+        lib = CellLibrary("test")
+        lib.add(CellType("INV", OP_INV, 1, 1.0, 2, 1.0))
+        lib.add(CellType("MUX2", OP_MUX2, 3, 1.9, 10, 0.9))
+        assert len(lib) == 2
+        assert {cell.name for cell in lib} == {"INV", "MUX2"}

@@ -1,0 +1,99 @@
+"""Technology and simulation configuration validation."""
+
+import math
+
+import pytest
+
+from repro.config import (
+    BOLTZMANN_EV,
+    DEFAULT_SIM_CONFIG,
+    DEFAULT_TECHNOLOGY,
+    SECONDS_PER_YEAR,
+    SimulationConfig,
+    Technology,
+)
+from repro.errors import ConfigError
+
+
+class TestTechnology:
+    def test_defaults_are_32nm_highk(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.vdd == pytest.approx(0.9)
+        assert tech.temperature == pytest.approx(398.15)  # 125 degC
+        assert tech.n_exponent == pytest.approx(1.0 / 6.0)
+        assert tech.ea == pytest.approx(0.12)  # paper Section II-D
+
+    def test_gate_overdrives(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.gate_overdrive_p == pytest.approx(tech.vdd - tech.vth_p)
+        assert tech.gate_overdrive_n == pytest.approx(tech.vdd - tech.vth_n)
+
+    def test_oxide_field_definition(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.oxide_field == pytest.approx(
+            tech.gate_overdrive_p / tech.tox
+        )
+
+    def test_thermal_factor_is_arrhenius(self):
+        tech = DEFAULT_TECHNOLOGY
+        expected = math.exp(-tech.ea / (BOLTZMANN_EV * tech.temperature))
+        assert tech.thermal_factor() == pytest.approx(expected)
+
+    def test_thermal_factor_increases_with_temperature(self):
+        cold = DEFAULT_TECHNOLOGY.replace(temperature=300.0)
+        assert DEFAULT_TECHNOLOGY.thermal_factor() > cold.thermal_factor()
+
+    def test_replace_returns_new_instance(self):
+        tech = DEFAULT_TECHNOLOGY.replace(vdd=1.0)
+        assert tech.vdd == 1.0
+        assert DEFAULT_TECHNOLOGY.vdd == pytest.approx(0.9)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("vdd", 0.0),
+            ("vdd", -1.0),
+            ("vth_p", 0.0),
+            ("vth_p", 0.95),
+            ("vth_n", -0.1),
+            ("temperature", 0.0),
+            ("n_exponent", 0.0),
+            ("n_exponent", 1.0),
+            ("time_unit_ns", 0.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            DEFAULT_TECHNOLOGY.replace(**{field: value})
+
+    def test_seconds_per_year(self):
+        assert SECONDS_PER_YEAR == pytest.approx(365.25 * 86400)
+
+
+class TestSimulationConfig:
+    def test_paper_defaults(self):
+        config = DEFAULT_SIM_CONFIG
+        # Section IV-B: 1 Razor cycle + 2 re-execution cycles.
+        assert config.razor_penalty_cycles == 3
+        # Section IV-C: 10 errors per 100 operations.
+        assert config.indicator_window == 100
+        assert config.indicator_threshold == 10
+        assert config.indicator_sticky is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"razor_penalty_cycles": 0},
+            {"indicator_window": 0},
+            {"indicator_threshold": -1},
+            {"indicator_threshold": 101},
+            {"shadow_skew_fraction": 0.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SimulationConfig(**kwargs)
+
+    def test_threshold_may_equal_window(self):
+        config = SimulationConfig(indicator_threshold=100)
+        assert config.indicator_threshold == 100

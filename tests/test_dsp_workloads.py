@@ -1,0 +1,91 @@
+"""Application-shaped (DSP) workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.arith import count_zeros, golden_products
+from repro.errors import WorkloadError
+from repro.workloads import (
+    dct_stream,
+    fir_filter_stream,
+    image_gradient_stream,
+    uniform_operands,
+)
+
+
+class TestFirStream:
+    def test_shapes_and_range(self):
+        md, mr = fir_filter_stream(16, 500, seed=1)
+        assert md.shape == mr.shape == (500,)
+        assert md.max() < 1 << 16
+
+    def test_coefficients_cycle(self):
+        md, _ = fir_filter_stream(16, 64, num_taps=16, seed=1)
+        assert np.array_equal(md[:16], md[16:32])
+
+    def test_deterministic(self):
+        first = fir_filter_stream(16, 100, seed=4)
+        second = fir_filter_stream(16, 100, seed=4)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+
+    def test_taps_are_zero_rich(self):
+        """Windowed-sinc taps decay: the coefficient stream carries more
+        zeros than uniform noise -- the bypass-friendly property."""
+        md, _ = fir_filter_stream(16, 2000, seed=2)
+        uniform_md, _ = uniform_operands(16, 2000, seed=2)
+        assert (
+            count_zeros(md, 16).mean()
+            > count_zeros(uniform_md, 16).mean()
+        )
+
+    def test_bad_taps_rejected(self):
+        with pytest.raises(WorkloadError):
+            fir_filter_stream(16, 10, num_taps=0)
+
+
+class TestDctStream:
+    def test_shapes(self):
+        md, mr = dct_stream(12, 300, seed=3)
+        assert md.shape == mr.shape == (300,)
+        assert md.max() < 1 << 12
+
+    def test_coefficients_repeat_with_period_64(self):
+        md, _ = dct_stream(12, 128, seed=3)
+        assert np.array_equal(md[:64], md[64:128])
+
+
+class TestImageStream:
+    def test_neighbour_correlation(self):
+        """Adjacent pixels are similar: small |md - mr| on average."""
+        md, mr = image_gradient_stream(16, 3000, seed=4)
+        umd, umr = uniform_operands(16, 3000, seed=4)
+        gap = np.abs(md.astype(np.int64) - mr.astype(np.int64)).mean()
+        uniform_gap = np.abs(
+            umd.astype(np.int64) - umr.astype(np.int64)
+        ).mean()
+        assert gap < uniform_gap / 2
+
+    def test_values_fit_width(self):
+        md, mr = image_gradient_stream(8, 500)
+        assert md.max() < 256 and mr.max() < 256
+
+
+class TestEndToEnd:
+    def test_streams_multiply_exactly(self, cb16_circuit):
+        for stream in (
+            fir_filter_stream(16, 300, seed=5),
+            dct_stream(16, 300, seed=5),
+            image_gradient_stream(16, 300, seed=5),
+        ):
+            md, mr = stream
+            result = cb16_circuit.run({"md": md, "mr": mr})
+            assert np.array_equal(
+                result.outputs["p"], golden_products(md, mr, 16)
+            )
+
+    def test_width_bounds(self):
+        with pytest.raises(WorkloadError):
+            fir_filter_stream(0, 10)
+        with pytest.raises(WorkloadError):
+            dct_stream(16, 0)

@@ -1,0 +1,93 @@
+"""Cross-validation: vectorized engine vs event-driven reference.
+
+The floating-mode engine's arrivals are designed to upper-bound the
+transport-delay event simulation, and all engines must agree on settled
+values.  These tests drive the real multiplier netlists with random
+two-vector stimuli and check both properties pattern by pattern.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith import (
+    array_multiplier,
+    column_bypass_multiplier,
+    row_bypass_multiplier,
+)
+from repro.timing import CompiledCircuit, EventSimulator
+from repro.workloads import uniform_operands
+
+WIDTH = 5
+NUM_PAIRS = 40
+
+
+@pytest.fixture(
+    scope="module",
+    params=["am", "cb", "rb"],
+)
+def design(request):
+    generator = {
+        "am": array_multiplier,
+        "cb": column_bypass_multiplier,
+        "rb": row_bypass_multiplier,
+    }[request.param]
+    netlist = generator(WIDTH)
+    return {
+        "netlist": netlist,
+        "floating": CompiledCircuit(netlist, mode="floating"),
+        "inertial": CompiledCircuit(netlist, mode="inertial"),
+        "event": EventSimulator(netlist),
+    }
+
+
+@pytest.fixture(scope="module")
+def stimulus():
+    md, mr = uniform_operands(WIDTH, NUM_PAIRS + 1, seed=21)
+    return md, mr
+
+
+def test_values_agree_with_event_sim(design, stimulus):
+    md, mr = stimulus
+    stream = design["floating"].run({"md": md, "mr": mr})
+    for k in range(1, NUM_PAIRS + 1):
+        event = design["event"].run_pair(
+            {"md": int(md[k - 1]), "mr": int(mr[k - 1])},
+            {"md": int(md[k]), "mr": int(mr[k])},
+        )
+        assert event.outputs["p"] == int(stream.outputs["p"][k]), k
+
+
+def test_floating_arrival_upper_bounds_event_settle(design, stimulus):
+    md, mr = stimulus
+    stream = design["floating"].run({"md": md, "mr": mr})
+    for k in range(1, NUM_PAIRS + 1):
+        event = design["event"].run_pair(
+            {"md": int(md[k - 1]), "mr": int(mr[k - 1])},
+            {"md": int(md[k]), "mr": int(mr[k])},
+        )
+        assert event.settle_time <= stream.delays[k] + 1e-9, (
+            "pattern %d: event settle %.4f > floating bound %.4f"
+            % (k, event.settle_time, stream.delays[k])
+        )
+
+
+def test_inertial_below_floating(design, stimulus):
+    md, mr = stimulus
+    floating = design["floating"].run({"md": md, "mr": mr})
+    inertial = design["inertial"].run({"md": md, "mr": mr})
+    assert np.all(inertial.delays <= floating.delays + 1e-9)
+
+
+def test_event_per_bit_times_bounded_by_floating(design, stimulus):
+    md, mr = stimulus
+    stream = design["floating"].run(
+        {"md": md, "mr": mr}, collect_bit_arrivals=True
+    )
+    arrivals = stream.bit_arrivals["p"]
+    for k in range(1, NUM_PAIRS + 1):
+        event = design["event"].run_pair(
+            {"md": int(md[k - 1]), "mr": int(mr[k - 1])},
+            {"md": int(md[k]), "mr": int(mr[k])},
+        )
+        for bit, last_change in enumerate(event.bit_last_change["p"]):
+            assert last_change <= arrivals[bit, k] + 1e-9, (k, bit)

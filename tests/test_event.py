@@ -1,0 +1,113 @@
+"""Event-driven reference simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.nets.netlist import Netlist
+from repro.timing import EventSimulator
+from repro.timing.event import EventResult
+
+
+def and_or_net():
+    nl = Netlist("ao")
+    a, = nl.add_input_port("a", 1)
+    b, = nl.add_input_port("b", 1)
+    c, = nl.add_input_port("c", 1)
+    nl.add_output_port("o", [nl.or2(nl.and2(a, b), c)])
+    return nl
+
+
+class TestSettle:
+    def test_settle_values(self):
+        sim = EventSimulator(and_or_net())
+        state = sim.settle({"a": 1, "b": 1, "c": 0})
+        out_net = sim.netlist.output_ports["o"].nets[0]
+        assert state[out_net] == 1
+
+    def test_missing_port_rejected(self):
+        sim = EventSimulator(and_or_net())
+        with pytest.raises(SimulationError):
+            sim.settle({"a": 1})
+
+    def test_value_too_wide_rejected(self):
+        sim = EventSimulator(and_or_net())
+        with pytest.raises(SimulationError):
+            sim.settle({"a": 2, "b": 0, "c": 0})
+
+
+class TestRunPair:
+    def test_no_change_no_events(self):
+        sim = EventSimulator(and_or_net())
+        result = sim.run_pair(
+            {"a": 1, "b": 1, "c": 0}, {"a": 1, "b": 1, "c": 0}
+        )
+        assert result.num_events == 0
+        assert result.settle_time == 0.0
+        assert result.outputs["o"] == 1
+
+    def test_single_transition_timing(self):
+        nl = Netlist("chain")
+        a, = nl.add_input_port("a", 1)
+        x = nl.inv(a)
+        y = nl.inv(x)
+        nl.add_output_port("o", [y])
+        sim = EventSimulator(nl)
+        result = sim.run_pair({"a": 0}, {"a": 1})
+        inv = nl.library.get("INV").delay_units * sim.technology.time_unit_ns
+        assert result.settle_time == pytest.approx(2 * inv)
+        assert result.outputs["o"] == 1
+
+    def test_controlling_input_short_circuits(self):
+        """An early controlling 0 on an AND pins the output: later events
+        on the other pin do not change it."""
+        nl = Netlist("ctrl")
+        a, = nl.add_input_port("a", 1)
+        b, = nl.add_input_port("b", 1)
+        slow = b
+        for _ in range(5):
+            slow = nl.inv(nl.inv(slow))  # delay b's arrival
+        nl.add_output_port("o", [nl.and2(a, slow)])
+        sim = EventSimulator(nl)
+        # a: 1 -> 0 (controlling).  b flips too, arriving much later.
+        result = sim.run_pair({"a": 1, "b": 1}, {"a": 0, "b": 0})
+        assert result.outputs["o"] == 0
+        and_delay = (
+            nl.library.get("AND2").delay_units * sim.technology.time_unit_ns
+        )
+        # Output settles when the controlling input lands, not when the
+        # slow chain does.
+        out_net = nl.output_ports["o"].nets[0]
+        assert result.bit_last_change["o"][0] <= and_delay + 1e-9
+
+    def test_tristate_holds_when_disabled(self):
+        nl = Netlist("tri")
+        d, = nl.add_input_port("d", 1)
+        e, = nl.add_input_port("e", 1)
+        nl.add_output_port("o", [nl.tribuf(d, e)])
+        sim = EventSimulator(nl)
+        # Settle enabled at d=1; then disable and change d.
+        result = sim.run_pair({"d": 1, "e": 1}, {"d": 0, "e": 0})
+        assert result.outputs["o"] == 1  # held
+
+    def test_glitch_counted_as_events(self):
+        """A static-0 hazard on an AND: both inputs swap, output pulses."""
+        nl = Netlist("hazard")
+        a, = nl.add_input_port("a", 1)
+        b, = nl.add_input_port("b", 1)
+        slow_b = nl.inv(nl.inv(b))
+        nl.add_output_port("o", [nl.and2(a, slow_b)])
+        sim = EventSimulator(nl)
+        # a: 0->1 arrives fast, slow_b: 1->0 arrives late => 0-1-0 pulse.
+        result = sim.run_pair({"a": 0, "b": 1}, {"a": 1, "b": 0})
+        assert result.outputs["o"] == 0
+        assert result.num_events >= 3  # includes the pulse
+
+    def test_result_structure(self):
+        sim = EventSimulator(and_or_net())
+        result = sim.run_pair(
+            {"a": 0, "b": 0, "c": 0}, {"a": 1, "b": 1, "c": 0}
+        )
+        assert isinstance(result, EventResult)
+        assert set(result.bit_last_change) == {"o"}
+        assert result.settle_time == max(result.bit_last_change["o"])

@@ -1,0 +1,206 @@
+"""End-to-end experiment harness tests.
+
+These run every registered experiment at a small pattern scale (shared
+session context) and assert the *paper's qualitative claims* -- the same
+checks EXPERIMENTS.md documents quantitatively at full scale.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import REGISTRY, get_experiment, run_experiment
+from repro.experiments import (
+    fig05_delay_distribution,
+    fig06_zeros_vs_delay,
+    fig07_aging_trend,
+    fig09_10_zero_distribution,
+    fig13_14_latency_sweep,
+    fig15_18_skip_comparison,
+    fig19_22_adaptive_errors,
+    fig23_24_adaptive_latency,
+    fig25_area,
+    fig26_27_lifetime,
+    tables_one_cycle_ratio,
+)
+
+
+class TestRegistry:
+    def test_all_design_md_experiments_present(self):
+        expected = {
+            "fig05", "fig06", "fig07", "fig09_10", "tab1", "tab2",
+            "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+            "fig25", "fig26", "fig27",
+            "ext_em", "ext_baselines", "ext_workloads", "ext_vladder",
+            "claims",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            get_experiment("fig99")
+
+
+class TestFig05(object):
+    def test_claims(self, ctx):
+        result = fig05_delay_distribution.run(ctx)
+        # Calibration target: AM critical path = 1.32 ns.
+        assert result.critical_ns["am"] == pytest.approx(1.32, abs=0.01)
+        # Bypassing multipliers have longer critical paths than the AM.
+        assert result.critical_ns["column"] > result.critical_ns["am"]
+        assert result.critical_ns["row"] > result.critical_ns["am"]
+        # The bulk of the paths is far below the critical path.
+        for kind in ("am", "column", "row"):
+            assert result.fraction_below[kind] > 0.85
+        assert "am" in result.render()
+
+
+class TestFig06(object):
+    def test_left_shift_with_more_zeros(self, ctx):
+        result = fig06_zeros_vs_delay.run(ctx, num_patterns=600)
+        assert result.monotone_decreasing
+        assert result.mean_delay_ns[6] > result.mean_delay_ns[10]
+
+
+class TestFig07(object):
+    def test_thirteen_percent_drift(self, ctx):
+        result = fig07_aging_trend.run(ctx)
+        for kind in ("column", "row"):
+            assert result.drift_at_7y[kind] == pytest.approx(0.13, abs=0.02)
+            # t^(1/6): most of the drift lands in the first year.
+            series = result.series[kind]
+            first_year = series.y[1] - series.y[0]
+            last_year = series.y[-1] - series.y[-2]
+            assert first_year > 5 * last_year
+
+
+class TestZeroDistributions(object):
+    def test_binomial_shape(self, ctx):
+        result = fig09_10_zero_distribution.run(ctx, num_patterns=4000)
+        assert result.max_pmf_error("md") < 0.03
+        assert result.max_pmf_error("mr") < 0.03
+
+
+class TestTables(object):
+    def test_table1_ratios_near_binomial(self, ctx):
+        result = tables_one_cycle_ratio.run_table1(ctx, num_patterns=4000)
+        for skip in (7, 8, 9):
+            expected = tables_one_cycle_ratio.binomial_tail(16, skip)
+            for kind in ("column", "row"):
+                assert result.ratios[(kind, skip)] == pytest.approx(
+                    expected, abs=0.03
+                )
+
+    def test_table2_decreasing_in_skip(self, ctx):
+        result = tables_one_cycle_ratio.run_table2(ctx, num_patterns=2000)
+        ratios = [result.ratios[("column", s)] for s in (15, 16, 17)]
+        assert ratios[0] > ratios[1] > ratios[2]
+
+
+class TestFig13(object):
+    def test_variable_latency_beats_fixed(self, ctx):
+        result = fig13_14_latency_sweep.run_fig13(
+            ctx, num_patterns=1500, skips=(7,),
+        )
+        # The headline claim: large improvement over the fixed-latency
+        # design, and a best point beating even the AM.
+        assert result.improvement_vs("column", 7, "flcb") > 0.20
+        assert result.improvement_vs("row", 7, "flrb") > 0.20
+        assert result.improvement_vs("column", 7, "am") > 0.0
+        assert len(result.preferred_range("column", 7)) > 0
+
+
+class TestFig15(object):
+    def test_skip_crossover(self, ctx):
+        result = fig15_18_skip_comparison.run(
+            ctx, width=16, kind="column", num_patterns=2000
+        )
+        assert result.crossover_ok()
+        assert result.errors_monotone(slack=0.1)
+
+
+class TestFig19(object):
+    def test_adaptive_never_worse(self, ctx):
+        result = fig19_22_adaptive_errors.run_fig19(ctx, num_patterns=1500)
+        assert result.adaptive_never_worse(slack=2)
+        # Errors fall as the clock relaxes.
+        assert result.traditional.y[0] > result.traditional.y[-1]
+
+
+class TestFig23(object):
+    def test_adaptive_wins_at_short_cycles(self, ctx):
+        result = fig23_24_adaptive_latency.run_fig23(
+            ctx, num_patterns=1500, skips=(7,), kinds=("column",)
+        )
+        assert result.gap_at_shortest("column", 7) >= 0.0
+
+
+class TestFig25(object):
+    def test_area_claims(self, ctx):
+        result = fig25_area.run(ctx)
+        for width in (16, 32):
+            for kind in ("column", "row"):
+                assert result.adaptive_overhead(width, kind) > 0
+        # The relative overhead shrinks at 32x32 (the paper's point).
+        assert result.adaptive_overhead(32, "column") < (
+            result.adaptive_overhead(16, "column")
+        )
+        assert result.adaptive_overhead(32, "row") < (
+            result.adaptive_overhead(16, "row")
+        )
+
+
+class TestFig26(object):
+    @pytest.fixture(scope="class")
+    def lifetime(self, ctx):
+        # The AM-vs-adaptive crossover is a ~1% latency margin: keep
+        # enough patterns for the error statistics to settle.
+        return fig26_27_lifetime.run_fig26(
+            ctx, num_patterns=2500, years=(0.0, 2.0, 7.0)
+        )
+
+    def test_fixed_degrades_adaptive_does_not(self, lifetime):
+        for fixed in ("am", "flcb", "flrb"):
+            assert lifetime.latency_growth(fixed) == pytest.approx(
+                0.13, abs=0.025
+            )
+        for adaptive in ("a-vlcb", "a-vlrb"):
+            assert lifetime.latency_growth(adaptive) < 0.04
+
+    def test_am_crosses_above_adaptive(self, lifetime):
+        """Paper: the AM is faster fresh, slower after ~2 years."""
+        am = lifetime.latency_ns["am"]
+        avlcb = lifetime.latency_ns["a-vlcb"]
+        assert am.y[0] < avlcb.y[0]
+        assert am.y[-1] > avlcb.y[-1]
+
+    def test_power_ordering_and_trend(self, lifetime):
+        power = lifetime.power_w
+        # AM burns the most; fixed designs less than their adaptive kin.
+        assert power["am"].y[0] > power["flcb"].y[0]
+        assert power["flcb"].y[0] < power["a-vlcb"].y[0]
+        assert power["flrb"].y[0] < power["a-vlrb"].y[0]
+        # Power decreases with aging (Vth rises).
+        for design in power:
+            assert power[design].y[-1] < power[design].y[0]
+
+
+class TestRunExperiment(object):
+    def test_run_by_name(self, ctx):
+        result = run_experiment("fig06", ctx, num_patterns=300)
+        assert result.num_patterns == 300
+
+
+class TestClaims(object):
+    def test_all_headline_claims_hold(self, ctx):
+        from repro.experiments import claims
+
+        result = claims.run(ctx, num_patterns=2500)
+        failed = [
+            check.claim
+            for check in result.report.claims
+            if not check.holds
+        ]
+        assert result.all_hold, failed
+        assert len(result.report.claims) >= 10
+        assert "Claim checklist" in result.render()

@@ -1,0 +1,80 @@
+"""Structural export round trip and area accounting."""
+
+import numpy as np
+import pytest
+
+from repro.arith import column_bypass_multiplier, golden_products
+from repro.errors import NetlistError
+from repro.nets.area import area_report, transistor_count
+from repro.nets.cells import DFF_TRANSISTORS, RAZOR_FF_TRANSISTORS
+from repro.nets.export import dump_netlist, parse_netlist
+from repro.timing import CompiledCircuit
+from repro.workloads import uniform_operands
+
+
+class TestExportRoundTrip:
+    def test_structure_preserved(self, cb4):
+        text = dump_netlist(cb4)
+        parsed = parse_netlist(text)
+        assert parsed.num_nets == cb4.num_nets
+        assert len(parsed.cells) == len(cb4.cells)
+        assert [c.cell_type.name for c in parsed.cells] == [
+            c.cell_type.name for c in cb4.cells
+        ]
+        assert list(parsed.output_ports) == list(cb4.output_ports)
+
+    def test_parsed_netlist_simulates_identically(self, cb4):
+        parsed = parse_netlist(dump_netlist(cb4))
+        md, mr = uniform_operands(4, 100, seed=31)
+        original = CompiledCircuit(cb4).run({"md": md, "mr": mr})
+        roundtrip = CompiledCircuit(parsed).run({"md": md, "mr": mr})
+        assert np.array_equal(original.outputs["p"], roundtrip.outputs["p"])
+        assert np.allclose(original.delays, roundtrip.delays)
+
+    def test_groups_survive(self, cb4):
+        parsed = parse_netlist(dump_netlist(cb4))
+        assert {c.group for c in parsed.cells if c.group} == {
+            c.group for c in cb4.cells if c.group
+        }
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("")
+
+    def test_garbage_keyword_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("netlist x 2\nfrobnicate y\n")
+
+    def test_cell_before_header_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("cell INV u0 - 2 -> 3\n")
+
+
+class TestArea:
+    def test_transistor_count_sums_cells(self, am4):
+        expected = sum(c.cell_type.transistors for c in am4.cells)
+        assert transistor_count(am4) == expected
+
+    def test_report_breakdown(self, cb4):
+        report = area_report(
+            cb4, input_ff_bits=8, output_ff_bits=8, razor_bits=4
+        )
+        assert report.flip_flops == 16 * DFF_TRANSISTORS
+        assert report.razor_flip_flops == 4 * RAZOR_FF_TRANSISTORS
+        assert report.total == (
+            report.combinational + report.flip_flops
+            + report.razor_flip_flops
+        )
+        assert report.breakdown()["total"] == report.total
+
+    def test_normalization(self, am4, cb4):
+        base = area_report(am4)
+        other = area_report(cb4)
+        assert other.normalized_to(base) == pytest.approx(
+            other.total / base.total
+        )
+        assert other.normalized_to(base) > 1.0
+
+    def test_ahl_netlist_counts(self, cb4):
+        bigger = area_report(cb4, ahl_netlist=cb4, extra_dff_bits=2)
+        assert bigger.ahl == transistor_count(cb4) + 2 * DFF_TRANSISTORS

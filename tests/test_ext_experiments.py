@@ -1,0 +1,96 @@
+"""Extension experiments: EM lifetime, baselines, application workloads."""
+
+import pytest
+
+from repro.experiments import ext_baselines, ext_em, ext_workloads
+
+
+class TestExtBaselines:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return ext_baselines.run(ctx, num_patterns=1500)
+
+    def test_all_designs_present(self, result):
+        assert set(result.stats) == {
+            "am", "column", "row", "wallace", "dadda", "booth",
+        }
+
+    def test_bypassing_most_predictable(self, result):
+        """Zero-count/delay correlation: the architectural reason the
+        paper hosts variable latency on bypassing multipliers."""
+        stats = result.stats
+        for bypass in ("column", "row"):
+            for tree in ("wallace", "booth"):
+                assert (
+                    stats[bypass].zero_delay_correlation
+                    < stats[tree].zero_delay_correlation
+                )
+        assert stats["column"].zero_delay_correlation < -0.2
+
+    def test_tree_multipliers_tighter_spread(self, result):
+        stats = result.stats
+        assert stats["wallace"].spread < stats["column"].spread
+        assert stats["booth"].spread < stats["row"].spread
+
+    def test_tree_multipliers_beat_am_critical_path(self, result):
+        assert (
+            result.stats["wallace"].critical_ns
+            < result.stats["am"].critical_ns
+        )
+        assert (
+            result.stats["dadda"].critical_ns
+            < result.stats["wallace"].critical_ns
+        )
+
+    def test_render(self, result):
+        assert "wallace" in result.render()
+
+
+class TestExtWorkloads:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return ext_workloads.run(ctx, num_patterns=1500)
+
+    def test_all_products_exact(self, result):
+        assert all(row.products_exact for row in result.rows.values())
+
+    def test_fir_has_higher_one_cycle_potential(self, result):
+        """Filter taps are zero-rich: the relaxed judging block would
+        classify more FIR patterns one-cycle than uniform ones."""
+        assert (
+            result.rows["fir"].one_cycle_potential
+            > result.rows["uniform"].one_cycle_potential
+        )
+
+    def test_realized_never_exceeds_potential(self, result):
+        for row in result.rows.values():
+            assert row.one_cycle_ratio <= row.one_cycle_potential + 1e-9
+
+    def test_everything_beats_fixed_latency(self, result):
+        for row in result.rows.values():
+            assert row.improvement_vs_fixed > 0.2
+
+
+class TestExtEm:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return ext_em.run(
+            ctx, num_patterns=800, years=(0.0, 5.0, 10.0)
+        )
+
+    def test_em_compounds_fixed_degradation(self, result):
+        for fixed in ("flcb", "flrb"):
+            assert result.growth("combined", fixed) > result.growth(
+                "bti", fixed
+            )
+
+    def test_adaptive_tolerates_combined_aging(self, result):
+        """The Section V claim: under BTI + EM the adaptive designs
+        still degrade an order of magnitude less than fixed ones."""
+        for kind in ("cb", "rb"):
+            fixed = result.growth("combined", "fl%s" % kind)
+            adaptive = result.growth("combined", "a-vl%s" % kind)
+            assert adaptive < fixed / 3
+
+    def test_render(self, result):
+        assert "BTI+EM" in result.render()

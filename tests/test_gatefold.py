@@ -1,0 +1,73 @@
+"""Constant-folding gate helpers."""
+
+import itertools
+
+import pytest
+
+from repro.arith.gatefold import (
+    fold_and,
+    fold_mux,
+    fold_or,
+    fold_xnor,
+    fold_xor,
+)
+from repro.nets.netlist import CONST0, CONST1, Netlist
+from repro.timing import CompiledCircuit
+
+FOLDS = {
+    "and": (fold_and, lambda a, b: a & b),
+    "or": (fold_or, lambda a, b: a | b),
+    "xor": (fold_xor, lambda a, b: a ^ b),
+    "xnor": (fold_xnor, lambda a, b: 1 - (a ^ b)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FOLDS))
+def test_constant_inputs_fold_exactly(name):
+    fold, reference = FOLDS[name]
+    for a_const, b_const in itertools.product((0, 1), repeat=2):
+        nl = Netlist("f")
+        rails = {0: CONST0, 1: CONST1}
+        result = fold(nl, rails[a_const], rails[b_const])
+        assert result == rails[reference(a_const, b_const)]
+        assert len(nl.cells) == 0  # nothing emitted
+
+
+@pytest.mark.parametrize("name", sorted(FOLDS))
+def test_one_constant_one_live(name):
+    fold, reference = FOLDS[name]
+    for const in (0, 1):
+        nl = Netlist("f")
+        live = nl.add_input_port("x", 1)[0]
+        rails = {0: CONST0, 1: CONST1}
+        out = fold(nl, live, rails[const])
+        if out in (CONST0, CONST1):
+            expected = {reference(0, const), reference(1, const)}
+            assert expected == {0 if out == CONST0 else 1}
+            continue
+        nl.add_output_port("o", [out])
+        circuit = CompiledCircuit(nl)
+        got = circuit.run({"x": [0, 1]}).outputs["o"]
+        assert got.tolist() == [reference(0, const), reference(1, const)]
+
+
+def test_identical_operands_fold():
+    nl = Netlist("f")
+    x = nl.add_input_port("x", 1)[0]
+    assert fold_and(nl, x, x) == x
+    assert fold_or(nl, x, x) == x
+    assert fold_xor(nl, x, x) == CONST0
+    assert len(nl.cells) == 0
+
+
+def test_mux_folds():
+    nl = Netlist("f")
+    x = nl.add_input_port("x", 1)[0]
+    y = nl.add_input_port("y", 1)[0]
+    s = nl.add_input_port("s", 1)[0]
+    assert fold_mux(nl, x, y, CONST0) == x
+    assert fold_mux(nl, x, y, CONST1) == y
+    assert fold_mux(nl, x, x, s) == x
+    live = fold_mux(nl, x, y, s)
+    assert live not in (x, y)
+    assert len(nl.cells) == 1

@@ -1,0 +1,139 @@
+"""Judging blocks: behavioral predicate and structural netlists."""
+
+import numpy as np
+import pytest
+
+from repro.arith.reference import count_zeros
+from repro.core.judging import (
+    JudgingBlock,
+    compare_ge_const,
+    judging_netlist,
+    popcount_nets,
+)
+from repro.errors import ConfigError
+from repro.nets.netlist import CONST0, CONST1, Netlist
+from repro.timing import CompiledCircuit
+from repro.timing.logic import pack_bits
+
+
+class TestJudgingBlockBehavioral:
+    def test_one_cycle_predicate(self):
+        block = JudgingBlock(width=8, skip=5)
+        operands = np.array([0b00000000, 0b00000111, 0b00001111, 0xFF],
+                            dtype=np.uint64)
+        # zeros: 8, 5, 4, 0
+        assert block.one_cycle(operands).tolist() == [
+            True, True, False, False,
+        ]
+
+    def test_ratio_matches_binomial(self):
+        block = JudgingBlock(16, 7)
+        rng = np.random.default_rng(37)
+        operands = rng.integers(0, 1 << 16, 20000, dtype=np.uint64)
+        # P(zeros >= 7) for Binomial(16, 1/2) = 0.7728.
+        assert block.one_cycle_ratio(operands) == pytest.approx(
+            0.7728, abs=0.01
+        )
+
+    def test_stricter_block_accepts_fewer(self):
+        rng = np.random.default_rng(41)
+        operands = rng.integers(0, 1 << 16, 5000, dtype=np.uint64)
+        relaxed = JudgingBlock(16, 7).one_cycle(operands)
+        strict = JudgingBlock(16, 8).one_cycle(operands)
+        assert np.all(strict <= relaxed)
+        assert strict.sum() < relaxed.sum()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            JudgingBlock(8, 9)
+        with pytest.raises(ConfigError):
+            JudgingBlock(8, -1)
+        with pytest.raises(ConfigError):
+            JudgingBlock(0, 0)
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
+    def test_exhaustive(self, width):
+        nl = Netlist("pc")
+        bits = nl.add_input_port("x", width)
+        count = popcount_nets(nl, bits)
+        count = [
+            net if net not in (CONST0, CONST1) else net for net in count
+        ]
+        # Route through buffers so constants can appear on ports.
+        outs = [
+            net if net > CONST1 else nl.buf(nl.const0 if net == CONST0
+                                            else nl.const1)
+            for net in count
+        ]
+        nl.add_output_port("count", outs)
+        nl.validate()
+        circuit = CompiledCircuit(nl)
+        values = np.arange(1 << width, dtype=np.uint64)
+        result = circuit.run({"x": values})
+        expected = np.array([bin(int(v)).count("1") for v in values])
+        assert np.array_equal(result.outputs["count"], expected)
+
+
+class TestCompareGeConst:
+    @pytest.mark.parametrize("threshold", range(0, 9))
+    def test_exhaustive_3bit(self, threshold):
+        nl = Netlist("cmp")
+        bits = nl.add_input_port("x", 3)
+        flag = compare_ge_const(nl, bits, threshold)
+        if flag in (CONST0, CONST1):
+            # Degenerate threshold: verify the constant is right.
+            for value in range(8):
+                assert (flag == CONST1) == (value >= threshold) or threshold in (0, 9)
+            if threshold == 0:
+                assert flag == CONST1
+            return
+        nl.add_output_port("ge", [flag])
+        circuit = CompiledCircuit(nl)
+        values = np.arange(8, dtype=np.uint64)
+        result = circuit.run({"x": values})
+        assert result.outputs["ge"].tolist() == [
+            int(v >= threshold) for v in range(8)
+        ]
+
+    def test_negative_threshold_rejected(self):
+        nl = Netlist("cmp")
+        bits = nl.add_input_port("x", 3)
+        with pytest.raises(ConfigError):
+            compare_ge_const(nl, bits, -1)
+
+    def test_impossible_threshold_is_const0(self):
+        nl = Netlist("cmp")
+        bits = nl.add_input_port("x", 3)
+        assert compare_ge_const(nl, bits, 9) == CONST0
+
+
+class TestJudgingNetlist:
+    @pytest.mark.parametrize("width,skip", [(4, 2), (6, 3), (8, 5)])
+    def test_structural_matches_behavioral_exhaustively(self, width, skip):
+        nl = judging_netlist(width, skip)
+        circuit = CompiledCircuit(nl)
+        block = JudgingBlock(width, skip)
+        values = np.arange(1 << width, dtype=np.uint64)
+        result = circuit.run({"x": values})
+        expected = block.one_cycle(values).astype(np.uint64)
+        assert np.array_equal(result.outputs["one_cycle"], expected)
+
+    def test_structural_matches_behavioral_random_16(self):
+        nl = judging_netlist(16, 7)
+        circuit = CompiledCircuit(nl)
+        block = JudgingBlock(16, 7)
+        rng = np.random.default_rng(43)
+        values = rng.integers(0, 1 << 16, 2000, dtype=np.uint64)
+        result = circuit.run({"x": values})
+        assert np.array_equal(
+            result.outputs["one_cycle"], block.one_cycle(values).astype(np.uint64)
+        )
+
+    def test_degenerate_skip_zero(self):
+        nl = judging_netlist(4, 0)
+        circuit = CompiledCircuit(nl)
+        values = np.arange(16, dtype=np.uint64)
+        result = circuit.run({"x": values})
+        assert np.all(result.outputs["one_cycle"] == 1)

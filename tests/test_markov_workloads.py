@@ -1,0 +1,92 @@
+"""Temporally correlated workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.timing import CompiledCircuit
+from repro.workloads.generators import uniform_operands
+from repro.workloads.markov import (
+    bit_markov_stream,
+    correlated_operands,
+    lazy_stream,
+    random_walk_stream,
+)
+
+
+class TestLazyStream:
+    def test_holds_at_requested_rate(self):
+        values = lazy_stream(16, 5000, hold_probability=0.7, seed=3)
+        repeats = float((values[1:] == values[:-1]).mean())
+        assert repeats == pytest.approx(0.7, abs=0.03)
+
+    def test_zero_hold_is_iid(self):
+        values = lazy_stream(16, 3000, hold_probability=0.0, seed=3)
+        repeats = float((values[1:] == values[:-1]).mean())
+        assert repeats < 0.01
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            lazy_stream(16, 10, hold_probability=1.0)
+
+
+class TestBitMarkov:
+    def test_flip_rate(self):
+        values = bit_markov_stream(16, 4000, flip_probability=0.1, seed=5)
+        flips = values[1:] ^ values[:-1]
+        bits_flipped = np.array(
+            [bin(int(v)).count("1") for v in flips]
+        ).mean()
+        assert bits_flipped == pytest.approx(1.6, abs=0.2)  # 16 * 0.1
+
+    def test_stationary_is_unbiased(self):
+        values = bit_markov_stream(8, 8000, flip_probability=0.3, seed=7)
+        ones = np.array([bin(int(v)).count("1") for v in values]).mean()
+        assert ones == pytest.approx(4.0, abs=0.3)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            bit_markov_stream(8, 10, flip_probability=0.0)
+
+
+class TestRandomWalk:
+    def test_stays_in_range(self):
+        values = random_walk_stream(12, 2000, seed=9)
+        assert values.max() < 1 << 12
+
+    def test_small_steps(self):
+        values = random_walk_stream(16, 2000, step_scale=0.01, seed=9)
+        jumps = np.abs(np.diff(values.astype(np.int64)))
+        assert np.median(jumps) < 0.05 * (1 << 16)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            random_walk_stream(8, 10, step_scale=0.0)
+
+
+class TestArchitecturalEffects:
+    def test_correlation_cuts_switching_power(self, cb16_circuit):
+        """Bursty operands toggle less: the power model must see it."""
+        lazy_md, lazy_mr = correlated_operands(16, 1500, 0.8, seed=11)
+        unif_md, unif_mr = uniform_operands(16, 1500, seed=11)
+        lazy = cb16_circuit.run({"md": lazy_md, "mr": lazy_mr})
+        uniform = cb16_circuit.run({"md": unif_md, "mr": unif_mr})
+        assert (
+            lazy.mean_switched_caps() < 0.6 * uniform.mean_switched_caps()
+        )
+
+    def test_repeated_patterns_have_zero_delay(self, cb16_circuit):
+        """A held operand pair produces no transitions at all."""
+        md = np.full(50, 0xBEEF, dtype=np.uint64)
+        mr = np.full(50, 0x1234, dtype=np.uint64)
+        result = cb16_circuit.run({"md": md, "mr": mr})
+        assert np.all(result.delays == 0.0)
+
+    def test_products_remain_exact(self, cb16_circuit):
+        from repro.arith import golden_products
+
+        md, mr = correlated_operands(16, 800, 0.7, seed=13)
+        result = cb16_circuit.run({"md": md, "mr": mr})
+        assert np.array_equal(
+            result.outputs["p"], golden_products(md, mr, 16)
+        )

@@ -1,0 +1,88 @@
+"""Timing behaviour of the multipliers: the phenomena the AHL exploits."""
+
+import numpy as np
+import pytest
+
+from repro.arith import count_zeros
+from repro.timing import StaticTiming
+from repro.workloads import operands_with_zero_count, uniform_operands
+
+
+class TestCriticalPaths:
+    def test_am_matches_paper(self, am16):
+        assert StaticTiming(am16).critical_delay == pytest.approx(
+            1.32, abs=0.01
+        )
+
+    def test_bypassing_longer_than_am(self, am16, cb16, rb16):
+        """Paper Fig. 5: AM 1.32 < RB 1.82 ~ CB 1.88 ns."""
+        am = StaticTiming(am16).critical_delay
+        cb = StaticTiming(cb16).critical_delay
+        rb = StaticTiming(rb16).critical_delay
+        assert am < cb < 1.55 * am
+        assert am < rb < 1.55 * am
+
+    def test_32bit_scaling_matches_paper(self):
+        """Paper: 2.74 (AM), 3.88 (CB), 3.95 (RB) at 32x32 -- our
+        calibration (fitted only at 16x16) generalizes."""
+        from repro.arith import array_multiplier, column_bypass_multiplier
+
+        am32 = StaticTiming(array_multiplier(32)).critical_delay
+        cb32 = StaticTiming(column_bypass_multiplier(32)).critical_delay
+        assert am32 == pytest.approx(2.74, abs=0.1)
+        assert cb32 == pytest.approx(3.88, abs=0.25)
+
+
+class TestZeroDependence:
+    def test_more_zeros_less_delay_column(self, cb16_circuit):
+        """Fig. 6: the delay distribution left-shifts with multiplicand
+        zeros."""
+        means = {}
+        for zeros in (4, 8, 12):
+            md = operands_with_zero_count(16, 400, zeros, seed=zeros)
+            _, mr = uniform_operands(16, 400, seed=50 + zeros)
+            result = cb16_circuit.run({"md": md, "mr": mr})
+            means[zeros] = result.mean_delay
+        assert means[4] > means[8] > means[12]
+
+    def test_row_bypassing_keys_on_multiplicator(self, rb16):
+        from repro.timing import CompiledCircuit
+
+        circuit = CompiledCircuit(rb16)
+        means = {}
+        for zeros in (4, 12):
+            mr = operands_with_zero_count(16, 400, zeros, seed=zeros)
+            md, _ = uniform_operands(16, 400, seed=60 + zeros)
+            result = circuit.run({"md": md, "mr": mr})
+            means[zeros] = result.mean_delay
+        assert means[4] > means[12]
+
+    def test_zero_count_correlates_with_delay(self, cb16_circuit, stream16):
+        """Spearman-style check: zeros and delay are anticorrelated."""
+        md, mr = stream16
+        result = cb16_circuit.run({"md": md, "mr": mr})
+        zeros = count_zeros(md, 16)
+        correlation = np.corrcoef(zeros[1:], result.delays[1:])[0, 1]
+        assert correlation < -0.2
+
+    def test_all_zero_multiplicand_is_fastest(self, cb16_circuit):
+        md = np.zeros(50, dtype=np.uint64)
+        _, mr = uniform_operands(16, 50, seed=77)
+        bypassed = cb16_circuit.run({"md": md, "mr": mr})
+        md_full = np.full(50, 0xFFFF, dtype=np.uint64)
+        active = cb16_circuit.run({"md": md_full, "mr": mr})
+        assert bypassed.mean_delay < active.mean_delay
+
+
+class TestDistributionShape:
+    def test_fig5_quantile_claims(self, am16, cb16, rb16, stream16):
+        """>98% of AM paths < 0.7 ns; >93% (CB) / 98% (RB) < 0.9 ns."""
+        from repro.timing import CompiledCircuit
+
+        md, mr = stream16
+        am = CompiledCircuit(am16).run({"md": md, "mr": mr})
+        cb = CompiledCircuit(cb16).run({"md": md, "mr": mr})
+        rb = CompiledCircuit(rb16).run({"md": md, "mr": mr})
+        assert (am.delays < 0.7).mean() > 0.95
+        assert (cb.delays < 0.9).mean() > 0.90
+        assert (rb.delays < 0.9).mean() > 0.95

@@ -1,0 +1,145 @@
+"""Structural multiplier generators: functional exactness and structure."""
+
+import numpy as np
+import pytest
+
+from repro.arith import (
+    array_multiplier,
+    column_bypass_multiplier,
+    count_ones,
+    count_zeros,
+    golden_product,
+    golden_products,
+    row_bypass_multiplier,
+)
+from repro.errors import NetlistError, WorkloadError
+from repro.timing import CompiledCircuit
+from repro.workloads import uniform_operands
+
+GENERATORS = {
+    "am": array_multiplier,
+    "cb": column_bypass_multiplier,
+    "rb": row_bypass_multiplier,
+}
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+@pytest.mark.parametrize("width", [2, 3, 4, 5])
+def test_exhaustive_correctness(name, width):
+    """Every operand pair multiplies exactly (the bypass transformations
+    are exact, not approximate)."""
+    netlist = GENERATORS[name](width)
+    circuit = CompiledCircuit(netlist)
+    n = 1 << width
+    a = np.repeat(np.arange(n, dtype=np.uint64), n)
+    b = np.tile(np.arange(n, dtype=np.uint64), n)
+    result = circuit.run({"md": a, "mr": b})
+    assert np.array_equal(result.outputs["p"], golden_products(a, b, width))
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_random_correctness_16(name):
+    netlist = GENERATORS[name](16)
+    circuit = CompiledCircuit(netlist)
+    md, mr = uniform_operands(16, 3000, seed=7)
+    result = circuit.run({"md": md, "mr": mr})
+    assert np.array_equal(result.outputs["p"], golden_products(md, mr, 16))
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_corner_operands(name):
+    """All-zeros, all-ones, single-bit walks."""
+    width = 8
+    top = (1 << width) - 1
+    netlist = GENERATORS[name](width)
+    circuit = CompiledCircuit(netlist)
+    md = np.array(
+        [0, top, 0, top, 1, 128, 85, 170] + [1 << k for k in range(width)],
+        dtype=np.uint64,
+    )
+    mr = np.array(
+        [0, top, top, 0, 1, 128, 170, 85] + [top] * width, dtype=np.uint64
+    )
+    result = circuit.run({"md": md, "mr": mr})
+    assert np.array_equal(result.outputs["p"], golden_products(md, mr, width))
+
+
+class TestStructure:
+    def test_ports(self, cb4):
+        assert cb4.input_ports["md"].width == 4
+        assert cb4.input_ports["mr"].width == 4
+        assert cb4.output_ports["p"].width == 8
+
+    def test_width_one_rejected(self):
+        for generator in GENERATORS.values():
+            with pytest.raises(NetlistError):
+                generator(1)
+
+    def test_bypass_adds_cells(self, am4, cb4, rb4):
+        assert len(cb4.cells) > len(am4.cells)
+        assert len(rb4.cells) > len(am4.cells)
+
+    def test_row_bypass_larger_than_column(self):
+        """Fig. 25: RB carries the extended final adder and extra muxes."""
+        cb = column_bypass_multiplier(8)
+        rb = row_bypass_multiplier(8)
+        assert len(rb.cells) > len(cb.cells)
+
+    def test_column_groups_per_diagonal(self, cb4):
+        # The leftmost diagonal (d = width-1) degenerates: its cells'
+        # sum/carry inputs are structurally 0, so no gated cells exist.
+        groups = {cell.group for cell in cb4.cells if cell.group}
+        assert groups == {"cbd%d" % d for d in range(3)}
+        # Each group's enable is the matching multiplicand bit.
+        md = cb4.input_ports["md"].nets
+        for d in range(4):
+            assert cb4.group_enables["cbd%d" % d] == md[d]
+
+    def test_row_groups_per_row(self, rb4):
+        groups = {cell.group for cell in rb4.cells if cell.group}
+        assert groups == {"rbr%d" % i for i in range(1, 4)}
+        mr = rb4.input_ports["mr"].nets
+        for i in range(1, 4):
+            assert rb4.group_enables["rbr%d" % i] == mr[i]
+
+    def test_bypass_cell_types_match_paper(self, cb4):
+        """Column bypassing adds tri-state gates and muxes (Fig. 2)."""
+        stats = cb4.stats()
+        assert stats.get("TRIBUF", 0) > 0
+        assert stats.get("MUX2", 0) > 0
+
+    def test_quadratic_growth(self):
+        small = len(array_multiplier(8).cells)
+        large = len(array_multiplier(16).cells)
+        assert 3.0 < large / small < 5.0  # ~4x for 2x width
+
+    def test_netlists_validate(self, am16, cb16, rb16):
+        for nl in (am16, cb16, rb16):
+            nl.validate()
+
+
+class TestReferenceModels:
+    def test_golden_product_range_check(self):
+        with pytest.raises(WorkloadError):
+            golden_product(16, 1, 4)
+        assert golden_product(15, 15, 4) == 225
+
+    def test_golden_products_vector(self):
+        a = np.array([3, 5], dtype=np.uint64)
+        b = np.array([7, 9], dtype=np.uint64)
+        assert golden_products(a, b, 4).tolist() == [21, 45]
+
+    def test_golden_products_overflow_rejected(self):
+        with pytest.raises(WorkloadError):
+            golden_products([16], [1], 4)
+
+    def test_count_zeros_and_ones_complement(self):
+        values = np.array([0, 1, 0xFFFF, 0x0F0F], dtype=np.uint64)
+        zeros = count_zeros(values, 16)
+        ones = count_ones(values, 16)
+        assert np.array_equal(zeros + ones, np.full(4, 16))
+        assert zeros.tolist() == [16, 15, 0, 8]
+
+    def test_count_zeros_width_check(self):
+        with pytest.raises(WorkloadError):
+            count_zeros([256], 8)

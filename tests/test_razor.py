@@ -1,0 +1,65 @@
+"""Razor flip-flop model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.razor import RazorBank, RazorFlipFlop
+
+
+class TestRazorFlipFlop:
+    ff = RazorFlipFlop(cycle_ns=1.0, shadow_skew_ns=1.0)
+
+    def test_early_arrival_no_error(self):
+        main, shadow, error = self.ff.samples(0.8, 1)
+        assert (main, shadow, error) == (1, 1, False)
+
+    def test_late_arrival_detected(self):
+        main, shadow, error = self.ff.samples(1.3, 1)
+        assert error
+        assert shadow == 1
+        assert main != shadow  # main latched stale data
+
+    def test_beyond_shadow_window_raises(self):
+        with pytest.raises(SimulationError):
+            self.ff.samples(2.5, 1)
+
+    def test_error_predicate(self):
+        assert not self.ff.error(1.0)
+        assert self.ff.error(1.0001)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RazorFlipFlop(0.0, 1.0)
+        with pytest.raises(SimulationError):
+            RazorFlipFlop(1.0, 0.0)
+
+
+class TestRazorBank:
+    bank = RazorBank(cycle_ns=0.9, shadow_skew_ns=0.9)
+
+    def test_vectorized_errors(self):
+        delays = np.array([0.0, 0.5, 0.9, 0.91, 1.7, 1.81])
+        assert self.bank.errors(delays).tolist() == [
+            False, False, False, True, True, True,
+        ]
+
+    def test_undetectable_flags(self):
+        delays = np.array([1.0, 1.8, 1.81])
+        assert self.bank.undetectable(delays).tolist() == [
+            False, False, True,
+        ]
+
+    def test_error_count(self):
+        # cycle = 0.9: both 1.0 and 1.5 miss the edge.
+        assert self.bank.error_count([0.5, 1.0, 1.5]) == 2
+        assert self.bank.error_count([0.1, 0.2]) == 0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RazorBank(-1.0, 1.0)
+        with pytest.raises(SimulationError):
+            RazorBank(1.0, -1.0)
+
+    def test_scalar_inputs_accepted(self):
+        assert bool(self.bank.errors(1.5)) is True

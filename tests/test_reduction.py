@@ -1,0 +1,103 @@
+"""Carry-save column reduction."""
+
+import numpy as np
+import pytest
+
+from repro.arith.reduction import (
+    add_constant,
+    add_to_column,
+    columns_to_product,
+    reduce_columns,
+)
+from repro.errors import NetlistError
+from repro.nets.netlist import CONST0, CONST1, Netlist
+from repro.timing import CompiledCircuit
+
+
+def _evaluate(nl, columns_width, bits_port, product_nets, values):
+    circuit = CompiledCircuit(nl)
+    result = circuit.run({bits_port: values})
+    return result.outputs["p"]
+
+
+class TestColumnHelpers:
+    def test_const0_folds_away(self):
+        columns = {}
+        add_to_column(columns, 3, CONST0)
+        assert columns == {}
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(NetlistError):
+            add_to_column({}, -1, CONST1)
+
+    def test_add_constant_sets_bits(self):
+        columns = {}
+        add_constant(columns, 2, 0b101)
+        assert sorted(columns) == [2, 4]
+        assert columns[2] == [CONST1]
+
+    def test_add_constant_rejects_negative(self):
+        with pytest.raises(NetlistError):
+            add_constant({}, 0, -1)
+
+
+class TestReduceColumns:
+    def test_reduces_to_two_per_column(self):
+        nl = Netlist("r")
+        bits = nl.add_input_port("x", 9)
+        columns = {0: list(bits)}
+        reduced = reduce_columns(nl, columns)
+        assert all(len(nets) <= 2 for nets in reduced.values())
+
+    def test_empty_columns_pass_through(self):
+        nl = Netlist("r")
+        assert reduce_columns(nl, {}) == {}
+
+
+class TestColumnsToProduct:
+    @pytest.mark.parametrize("num_bits", [1, 3, 5, 8])
+    def test_popcount_via_columns(self, num_bits):
+        """Summing n weight-0 bits computes their population count."""
+        nl = Netlist("pc")
+        bits = nl.add_input_port("x", num_bits)
+        columns = {0: list(bits)}
+        out_width = num_bits.bit_length() + 1
+        product = columns_to_product(nl, columns, out_width)
+        nl.add_output_port("p", product)
+        nl.validate()
+        circuit = CompiledCircuit(nl)
+        values = np.arange(1 << num_bits, dtype=np.uint64)
+        got = circuit.run({"x": values}).outputs["p"]
+        expected = np.array([bin(int(v)).count("1") for v in values])
+        assert np.array_equal(got, expected)
+
+    def test_weighted_sum(self):
+        """Bits at mixed weights plus a constant sum correctly."""
+        nl = Netlist("w")
+        bits = nl.add_input_port("x", 3)
+        columns = {}
+        add_to_column(columns, 0, bits[0])
+        add_to_column(columns, 1, bits[1])
+        add_to_column(columns, 1, bits[2])  # second bit at weight 1
+        add_constant(columns, 0, 5)
+        product = columns_to_product(nl, columns, 5)
+        nl.add_output_port("p", product)
+        circuit = CompiledCircuit(nl)
+        values = np.arange(8, dtype=np.uint64)
+        got = circuit.run({"x": values}).outputs["p"]
+        expected = [
+            (v & 1) + 2 * ((v >> 1) & 1) + 2 * ((v >> 2) & 1) + 5
+            for v in range(8)
+        ]
+        assert got.tolist() == expected
+
+    def test_modulo_truncation(self):
+        """Weights above the product width are discarded (mod 2^k)."""
+        nl = Netlist("m")
+        bits = nl.add_input_port("x", 1)
+        columns = {0: [bits[0]], 3: [bits[0]]}
+        product = columns_to_product(nl, columns, 2)
+        nl.add_output_port("p", product)
+        circuit = CompiledCircuit(nl)
+        got = circuit.run({"x": [0, 1]}).outputs["p"]
+        assert got.tolist() == [0, 1]  # the weight-3 bit vanishes

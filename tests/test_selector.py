@@ -1,0 +1,92 @@
+"""Operating-point selection (Section IV-A automation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AgingAwareMultiplier, select_operating_point
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return AgingAwareMultiplier.build(
+        8, "column", skip=3, cycle_ns=0.5, characterize_patterns=300
+    )
+
+
+@pytest.fixture(scope="module")
+def selection(arch):
+    return select_operating_point(arch, num_patterns=1200, seed=5)
+
+
+class TestSelection:
+    def test_best_is_feasible_minimum(self, selection):
+        best = selection.best
+        assert best is not None
+        assert best.feasible
+        feasible = selection.feasible_candidates()
+        assert best.average_latency_ns == min(
+            c.average_latency_ns for c in feasible
+        )
+
+    def test_candidates_cover_grid(self, selection):
+        skips = {c.skip for c in selection.candidates}
+        assert skips == {3, 4, 5}
+        assert len(selection.candidates) == 3 * 11
+
+    def test_feasibility_means_no_overruns(self, selection):
+        for candidate in selection.feasible_candidates():
+            assert candidate.report.deep_retry_ops == 0
+            assert candidate.report.undetectable_count == 0
+
+    def test_preferred_range_is_contiguous_suffix(self, selection):
+        """Longer cycles are always feasible once one is: the feasible
+        set per skip is an upper range of the grid."""
+        for skip in (3, 4, 5):
+            cycles = sorted(
+                c.cycle_ns for c in selection.candidates if c.skip == skip
+            )
+            feasible = selection.preferred_range(skip)
+            if feasible:
+                cutoff = feasible[0]
+                assert all(
+                    c >= cutoff for c in feasible
+                )
+                assert set(feasible) == {
+                    c for c in cycles if c >= cutoff
+                }
+
+    def test_error_rate_bound(self, arch):
+        strict = select_operating_point(
+            arch, num_patterns=800, seed=7, max_error_rate=0.0
+        )
+        for candidate in strict.feasible_candidates():
+            assert candidate.report.error_count == 0
+
+    def test_aged_selection_slower_but_feasible(self, arch):
+        fresh = select_operating_point(arch, num_patterns=800, seed=9)
+        aged = select_operating_point(
+            arch, num_patterns=800, seed=9, years=7.0
+        )
+        assert aged.best is not None
+        assert (
+            aged.best.average_latency_ns
+            >= fresh.best.average_latency_ns - 1e-9
+        )
+
+    def test_bad_pattern_count_rejected(self, arch):
+        with pytest.raises(ConfigError):
+            select_operating_point(arch, num_patterns=0)
+
+    def test_operating_point_str(self, selection):
+        text = str(selection.best)
+        assert "skip=" in text and "feasible" in text
+
+    def test_explicit_grid(self, arch):
+        result = select_operating_point(
+            arch,
+            skips=(3,),
+            cycles_ns=(0.5, 0.6),
+            num_patterns=500,
+        )
+        assert {c.cycle_ns for c in result.candidates} == {0.5, 0.6}

@@ -1,0 +1,73 @@
+"""Static timing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.nets.netlist import Netlist
+from repro.timing import StaticTiming, critical_path
+from repro.config import DEFAULT_TECHNOLOGY
+
+
+def diamond():
+    """a -> INV -> AND <- (a -> INV -> INV): unbalanced reconvergence."""
+    nl = Netlist("diamond")
+    a, = nl.add_input_port("a", 1)
+    short = nl.inv(a)
+    long = nl.inv(nl.inv(nl.inv(a)))
+    nl.add_output_port("o", [nl.and2(short, long)])
+    return nl
+
+
+class TestStaticTiming:
+    def test_chain_arrival(self):
+        nl = Netlist("chain")
+        a, = nl.add_input_port("a", 1)
+        x = nl.inv(nl.inv(a))
+        nl.add_output_port("o", [x])
+        sta = StaticTiming(nl)
+        inv = nl.library.get("INV").delay_units * DEFAULT_TECHNOLOGY.time_unit_ns
+        assert sta.critical_delay == pytest.approx(2 * inv)
+
+    def test_worst_path_through_reconvergence(self):
+        nl = diamond()
+        sta = StaticTiming(nl)
+        unit = DEFAULT_TECHNOLOGY.time_unit_ns
+        inv = nl.library.get("INV").delay_units * unit
+        and2 = nl.library.get("AND2").delay_units * unit
+        assert sta.critical_delay == pytest.approx(3 * inv + and2)
+
+    def test_critical_path_cells(self):
+        nl = diamond()
+        path = StaticTiming(nl).critical_path()
+        # 3 inverters + the AND gate, input side first.
+        assert [cell.cell_type.name for cell in path] == [
+            "INV", "INV", "INV", "AND2",
+        ]
+
+    def test_primary_input_arrival_is_zero(self):
+        nl = diamond()
+        sta = StaticTiming(nl)
+        assert sta.arrival(nl.input_ports["a"].nets[0]) == 0.0
+
+    def test_delay_scale_applies(self):
+        nl = diamond()
+        base = StaticTiming(nl).critical_delay
+        scaled = StaticTiming(
+            nl, delay_scale=np.full(len(nl.cells), 2.0)
+        ).critical_delay
+        assert scaled == pytest.approx(2 * base)
+
+    def test_bad_scale_shape_rejected(self):
+        with pytest.raises(SimulationError):
+            StaticTiming(diamond(), delay_scale=np.ones(1))
+
+    def test_convenience_wrapper(self):
+        delay, path = critical_path(diamond())
+        assert delay == StaticTiming(diamond()).critical_delay
+        assert path[-1].cell_type.name == "AND2"
+
+    def test_sta_upper_bounds_observed_delays(self, cb16, cb16_circuit, stream16):
+        md, mr = stream16
+        result = cb16_circuit.run({"md": md[:500], "mr": mr[:500]})
+        assert result.max_delay <= StaticTiming(cb16).critical_delay + 1e-9

@@ -1,0 +1,98 @@
+"""System-level throughput / queueing simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import AgingAwareMultiplier
+from repro.core.throughput import (
+    ThroughputReport,
+    architecture_service_times,
+    max_sustainable_rate,
+    simulate_queue,
+)
+from repro.errors import ConfigError, SimulationError
+from repro.workloads import uniform_operands
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return AgingAwareMultiplier.build(
+        8, "column", skip=3, cycle_ns=0.5, characterize_patterns=300
+    )
+
+
+class TestSimulateQueue:
+    def test_underloaded_no_waiting(self):
+        service = np.full(100, 1.0)
+        report = simulate_queue(service, arrival_period_ns=2.0)
+        assert report.dropped_jobs == 0
+        assert report.mean_latency_ns == pytest.approx(1.0)
+        assert report.mean_queue_depth == pytest.approx(0.0)
+        assert report.utilization == pytest.approx(0.5, abs=0.02)
+
+    def test_saturated_throughput_is_service_rate(self):
+        service = np.full(500, 1.0)
+        report = simulate_queue(service, arrival_period_ns=0.5,
+                                queue_capacity=10)
+        # Server can only finish one job per ns.
+        assert report.throughput_per_ns == pytest.approx(1.0, abs=0.05)
+        assert report.dropped_jobs > 0
+        assert report.utilization == pytest.approx(1.0, abs=0.01)
+
+    def test_latency_grows_with_load(self):
+        rng = np.random.default_rng(5)
+        service = rng.uniform(0.5, 1.5, 400)
+        light = simulate_queue(service, arrival_period_ns=2.0)
+        heavy = simulate_queue(service, arrival_period_ns=1.05)
+        assert heavy.mean_latency_ns > light.mean_latency_ns
+        assert heavy.p95_latency_ns >= heavy.mean_latency_ns
+
+    def test_queue_capacity_bounds_depth(self):
+        service = np.full(300, 2.0)
+        report = simulate_queue(service, arrival_period_ns=0.5,
+                                queue_capacity=4)
+        assert report.mean_queue_depth <= 4.0
+        assert report.accepted_jobs + report.dropped_jobs == 300
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            simulate_queue(np.array([]), 1.0)
+        with pytest.raises(SimulationError):
+            simulate_queue(np.array([0.0]), 1.0)
+        with pytest.raises(ConfigError):
+            simulate_queue(np.array([1.0]), 0.0)
+        with pytest.raises(ConfigError):
+            simulate_queue(np.array([1.0]), 1.0, queue_capacity=0)
+
+
+class TestArchitectureServiceTimes:
+    def test_consistent_with_report(self, arch):
+        md, mr = uniform_operands(8, 800, seed=31)
+        service = architecture_service_times(arch, md, mr)
+        report = arch.run_patterns(md, mr).report
+        assert service.sum() == pytest.approx(
+            report.total_cycles * arch.cycle_ns
+        )
+        # Service times are whole cycles.
+        assert np.allclose(service / arch.cycle_ns,
+                           np.round(service / arch.cycle_ns))
+
+    def test_variable_latency_sustains_higher_rate_than_fixed(self, arch):
+        """The intro's throughput claim, end to end: the VL unit accepts
+        a faster job stream than the fixed-latency unit."""
+        md, mr = uniform_operands(8, 1500, seed=37)
+        vl_service = architecture_service_times(arch, md, mr)
+        fixed_service = np.full(1500, arch.critical_path_ns())
+        vl_rate = max_sustainable_rate(vl_service)
+        fixed_rate = max_sustainable_rate(fixed_service)
+        assert vl_rate > fixed_rate
+
+    def test_aged_rate_does_not_collapse(self, arch):
+        md, mr = uniform_operands(8, 1000, seed=41)
+        fresh = max_sustainable_rate(
+            architecture_service_times(arch, md, mr, years=0.0)
+        )
+        aged = max_sustainable_rate(
+            architecture_service_times(arch, md, mr, years=7.0)
+        )
+        assert aged > 0.8 * fresh

@@ -1,0 +1,147 @@
+"""VCD export and gate-sizing transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.nets.sizing import (
+    SizingPlan,
+    uniform_sizing,
+    upsize_cells,
+    upsize_critical_paths,
+)
+from repro.timing import CompiledCircuit, EventSimulator, StaticTiming
+from repro.timing.vcd import render_vcd, write_vcd
+
+
+class TestVcd:
+    @pytest.fixture(scope="class")
+    def traced(self, cb4):
+        sim = EventSimulator(cb4)
+        result = sim.run_pair(
+            {"md": 5, "mr": 3}, {"md": 10, "mr": 15}, record_trace=True
+        )
+        return sim, result
+
+    def test_trace_recorded(self, traced):
+        _, result = traced
+        assert result.trace is not None
+        assert result.initial_values is not None
+        assert len(result.trace) == result.num_events
+        times = [t for t, _, _ in result.trace]
+        assert times == sorted(times)
+
+    def test_render_structure(self, traced, cb4):
+        _, result = traced
+        text = render_vcd(result, cb4)
+        assert "$timescale" in text
+        assert "$enddefinitions" in text
+        assert "$dumpvars" in text
+        # Every input port bit is declared.
+        for i in range(4):
+            assert "md[%d]" % i in text
+
+    def test_time_stamps_in_picoseconds(self, traced, cb4):
+        _, result = traced
+        text = render_vcd(result, cb4)
+        stamps = [
+            int(line[1:]) for line in text.splitlines()
+            if line.startswith("#")
+        ]
+        assert stamps == sorted(stamps)
+        expected_last = int(round(result.trace[-1][0] * 1000))
+        assert stamps[-1] == expected_last
+
+    def test_untraced_result_rejected(self, cb4):
+        sim = EventSimulator(cb4)
+        result = sim.run_pair({"md": 0, "mr": 0}, {"md": 1, "mr": 1})
+        with pytest.raises(SimulationError):
+            render_vcd(result, cb4)
+
+    def test_write_vcd(self, traced, cb4, tmp_path):
+        _, result = traced
+        path = tmp_path / "wave.vcd"
+        write_vcd(result, cb4, str(path))
+        assert path.read_text().startswith("$date")
+
+    def test_net_subset(self, traced, cb4):
+        _, result = traced
+        only = list(cb4.output_ports["p"].nets[:2])
+        text = render_vcd(result, cb4, nets=only)
+        assert text.count("$var wire") == 2
+
+
+class TestSizing:
+    def test_uniform_plan(self, cb4):
+        plan = uniform_sizing(cb4, 2.0)
+        assert np.all(plan.delay_scale() == 0.5)
+        assert plan.extra_transistors(cb4) > 0
+        assert plan.num_upsized() == len(cb4.cells)
+
+    def test_subset_plan(self, cb4):
+        plan = upsize_cells(cb4, [0, 3], 1.5)
+        assert plan.num_upsized() == 2
+        scale = plan.delay_scale()
+        assert scale[0] == pytest.approx(1 / 1.5)
+        assert scale[1] == 1.0
+
+    def test_bad_factor_rejected(self, cb4):
+        with pytest.raises(ConfigError):
+            uniform_sizing(cb4, 0.5)
+        with pytest.raises(ConfigError):
+            upsize_cells(cb4, [0], 0.9)
+        with pytest.raises(ConfigError):
+            SizingPlan("x", np.array([0.5]))
+
+    def test_bad_index_rejected(self, cb4):
+        with pytest.raises(ConfigError):
+            upsize_cells(cb4, [9999], 1.5)
+
+    def test_plan_netlist_mismatch(self, cb4, am4):
+        plan = uniform_sizing(cb4, 1.5)
+        with pytest.raises(ConfigError):
+            plan.extra_transistors(am4)
+
+    def test_critical_path_sizing_compresses_cycle(self, cb16):
+        base = StaticTiming(cb16).critical_delay
+        plan = upsize_critical_paths(cb16, factor=1.5, slack_fraction=0.97)
+        sized = StaticTiming(
+            cb16, delay_scale=plan.delay_scale()
+        ).critical_delay
+        assert sized < base
+        # Targeted: a strict subset of the design (arrays are balanced,
+        # so near-critical cover is wide, but never everything).
+        assert 0 < plan.num_upsized() < len(cb16.cells)
+        # A tighter slack threshold upsizes fewer cells.
+        wide = upsize_critical_paths(cb16, factor=1.5, slack_fraction=0.9)
+        assert plan.num_upsized() < wide.num_upsized()
+
+    def test_targeted_cheaper_than_uniform(self, cb16):
+        targeted = upsize_critical_paths(cb16, factor=1.5)
+        uniform = uniform_sizing(cb16, 1.5)
+        assert targeted.extra_transistors(cb16) < (
+            uniform.extra_transistors(cb16)
+        )
+        # Yet uniform can't beat targeted by more than its own factor.
+        t_crit = StaticTiming(
+            cb16, delay_scale=targeted.delay_scale()
+        ).critical_delay
+        u_crit = StaticTiming(
+            cb16, delay_scale=uniform.delay_scale()
+        ).critical_delay
+        assert u_crit <= t_crit + 1e-9
+
+    def test_sized_circuit_still_correct(self, cb4, exhaustive4):
+        from repro.arith import golden_products
+
+        plan = upsize_critical_paths(cb4, factor=2.0)
+        circuit = CompiledCircuit(cb4, delay_scale=plan.delay_scale())
+        md, mr = exhaustive4
+        result = circuit.run({"md": md, "mr": mr})
+        assert np.array_equal(
+            result.outputs["p"], golden_products(md, mr, 4)
+        )
+
+    def test_slack_fraction_validation(self, cb4):
+        with pytest.raises(ConfigError):
+            upsize_critical_paths(cb4, slack_fraction=0.0)

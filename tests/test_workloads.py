@@ -1,0 +1,103 @@
+"""Workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.arith.reference import count_zeros
+from repro.errors import WorkloadError
+from repro.workloads import (
+    PatternStream,
+    operands_with_zero_count,
+    uniform_operands,
+    walking_ones,
+    zero_weighted_operands,
+)
+
+
+class TestUniform:
+    def test_deterministic_per_seed(self):
+        first = uniform_operands(16, 100, seed=5)
+        second = uniform_operands(16, 100, seed=5)
+        different = uniform_operands(16, 100, seed=6)
+        assert np.array_equal(first[0], second[0])
+        assert not np.array_equal(first[0], different[0])
+
+    def test_values_fit_width(self):
+        md, mr = uniform_operands(10, 1000, seed=1)
+        assert md.max() < 1 << 10
+        assert mr.max() < 1 << 10
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(WorkloadError):
+            uniform_operands(0, 10)
+        with pytest.raises(WorkloadError):
+            uniform_operands(8, 0)
+        with pytest.raises(WorkloadError):
+            uniform_operands(64, 10)
+
+
+class TestZeroCount:
+    @pytest.mark.parametrize("zeros", [0, 3, 8, 16])
+    def test_exact_zero_count(self, zeros):
+        values = operands_with_zero_count(16, 200, zeros, seed=2)
+        assert np.all(count_zeros(values, 16) == zeros)
+
+    def test_bad_zero_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            operands_with_zero_count(8, 10, 9)
+
+    def test_patterns_vary(self):
+        values = operands_with_zero_count(16, 100, 8, seed=3)
+        assert len(set(values.tolist())) > 50
+
+
+class TestZeroWeighted:
+    def test_probability_shifts_density(self):
+        sparse = zero_weighted_operands(16, 3000, 0.2, seed=4)
+        dense = zero_weighted_operands(16, 3000, 0.8, seed=4)
+        assert count_zeros(sparse, 16).mean() > count_zeros(dense, 16).mean()
+
+    def test_extremes(self):
+        zeros = zero_weighted_operands(8, 10, 0.0)
+        ones = zero_weighted_operands(8, 10, 1.0)
+        assert np.all(zeros == 0)
+        assert np.all(ones == 255)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(WorkloadError):
+            zero_weighted_operands(8, 10, 1.5)
+
+
+class TestWalkingOnes:
+    def test_single_bit_set(self):
+        values = walking_ones(8, 20)
+        assert np.all(count_zeros(values, 8) == 7)
+
+    def test_wraps_around(self):
+        values = walking_ones(4, 8)
+        assert values.tolist() == [1, 2, 4, 8, 1, 2, 4, 8]
+
+
+class TestPatternStream:
+    def test_uniform_factory(self):
+        stream = PatternStream.uniform(8, 250, seed=9)
+        assert stream.num_patterns == 250
+        assert stream.width == 8
+
+    def test_windows(self):
+        stream = PatternStream.uniform(8, 250, seed=9)
+        windows = list(stream.windows(100))
+        assert [len(md) for md, _ in windows] == [100, 100, 50]
+
+    def test_bad_window_rejected(self):
+        stream = PatternStream.uniform(8, 10, seed=9)
+        with pytest.raises(WorkloadError):
+            list(stream.windows(0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            PatternStream(
+                "bad", 8,
+                np.zeros(3, dtype=np.uint64),
+                np.zeros(4, dtype=np.uint64),
+            )
