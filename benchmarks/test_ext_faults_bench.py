@@ -1,0 +1,25 @@
+"""Extension bench: fault-injection coverage + adaptive recovery."""
+
+from conftest import run_once
+
+from repro.experiments import ext_faults
+
+
+def test_ext_faults(benchmark, ctx):
+    result = run_once(
+        benchmark, ext_faults.run, ctx, num_sites=52, num_patterns=600,
+    )
+    # Razor is a *timing* monitor: delay hot-spots are fully covered,
+    # while stuck-at corruption mostly latches cleanly before the main
+    # edge (silent data corruption).
+    assert result.coverage("delay") == 1.0
+    assert result.coverage("stuck-at-0") < 0.5
+    # The delay hot-spot elevates the error rate past the indicator
+    # threshold: the AHL switches to Skip-(n+1) and sheds errors the
+    # traditional design keeps taking.
+    hotspot = result.hotspot
+    assert hotspot.errors["traditional"] > hotspot.pristine_errors
+    assert hotspot.adaptive_aged_at >= 0
+    assert hotspot.errors["adaptive"] < hotspot.errors["traditional"]
+    print()
+    print(result.render())

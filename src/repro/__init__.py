@@ -9,6 +9,8 @@ Layered public API:
   multipliers and adders
 * :mod:`repro.aging`     -- NBTI/PBTI reaction-diffusion aging model
 * :mod:`repro.razor`     -- Razor flip-flop error detection
+* :mod:`repro.faults`    -- stuck-at / transient / delay fault models and
+  injection campaigns
 * :mod:`repro.core`      -- the paper's contribution: adaptive hold logic
   and the variable-latency multiplier architecture
 * :mod:`repro.workloads` -- seeded pattern generators
@@ -34,7 +36,9 @@ from .errors import (
     CalibrationError,
     CombinationalLoopError,
     ConfigError,
+    FaultError,
     NetlistError,
+    RecoveryExhaustedError,
     ReproError,
     SimulationError,
     UnknownCellError,
@@ -50,7 +54,9 @@ __all__ = [
     "ConfigError",
     "DEFAULT_SIM_CONFIG",
     "DEFAULT_TECHNOLOGY",
+    "FaultError",
     "NetlistError",
+    "RecoveryExhaustedError",
     "ReproError",
     "SimulationConfig",
     "SimulationError",

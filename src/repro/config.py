@@ -123,6 +123,11 @@ class Technology:
         return dataclasses.replace(self, **changes)
 
 
+#: Recovery-policy names accepted by :attr:`SimulationConfig.recovery_policy`
+#: (see :mod:`repro.core.architecture` for their semantics).
+RECOVERY_POLICIES = ("strict", "degrade", "detect-only")
+
+
 @dataclasses.dataclass(frozen=True)
 class SimulationConfig:
     """Knobs of the cycle-accurate architecture simulation (Section III)."""
@@ -145,6 +150,21 @@ class SimulationConfig:
     #: block when errors subside (the paper's indicator is monotone: once
     #: aged, it stays on the stricter block).
     indicator_sticky: bool = True
+    #: How the architecture resolves timing overruns that plain Razor
+    #: re-execution cannot absorb (arrivals past the shadow window or the
+    #: two-cycle budget).  One of :data:`RECOVERY_POLICIES`: ``"strict"``
+    #: raises :class:`repro.errors.RecoveryExhaustedError`, ``"degrade"``
+    #: charges a bounded multi-cycle fallback and records the event,
+    #: ``"detect-only"`` charges nothing and only counts coverage.
+    recovery_policy: str = "degrade"
+    #: Upper bound on the multi-cycle fallback an overrunning operation
+    #: may be charged (in cycles, on top of the Razor penalty).  Under
+    #: ``degrade`` an operation needing more is capped and counted as
+    #: recovery-exhausted; under ``strict`` it raises.
+    max_fallback_cycles: int = 64
+    #: Default per-pattern bit-flip probability used by fault-injection
+    #: campaigns when a transient site does not specify its own rate.
+    default_transient_rate: float = 1e-3
 
     def __post_init__(self):
         if self.razor_penalty_cycles < 1:
@@ -157,6 +177,18 @@ class SimulationConfig:
             )
         if self.shadow_skew_fraction <= 0:
             raise ConfigError("shadow_skew_fraction must be positive")
+        if self.recovery_policy not in RECOVERY_POLICIES:
+            raise ConfigError(
+                "recovery_policy must be one of %s, got %r"
+                % (RECOVERY_POLICIES, self.recovery_policy)
+            )
+        if self.max_fallback_cycles < 1:
+            raise ConfigError("max_fallback_cycles must be >= 1")
+        if not 0.0 <= self.default_transient_rate <= 1.0:
+            raise ConfigError(
+                "default_transient_rate must lie in [0, 1], got %r"
+                % (self.default_transient_rate,)
+            )
 
 
 #: The default technology instance used throughout the library.

@@ -17,7 +17,15 @@ variable-latency multiplier architecture (Section III).
 from .adder_architecture import AgingAwareAdder
 from .aging_indicator import AgingIndicator
 from .ahl import AdaptiveHoldLogic, ahl_netlist
-from .architecture import AgingAwareMultiplier
+from .architecture import (
+    AgingAwareMultiplier,
+    DegradeRecovery,
+    DetectOnlyRecovery,
+    RecoveryPolicy,
+    StrictRecovery,
+    WindowResolution,
+    resolve_policy,
+)
 from .baselines import FixedLatencyDesign, build_multiplier
 from .judging import JudgingBlock, judging_netlist, popcount_nets
 from .selector import OperatingPoint, SelectionResult, select_operating_point
@@ -36,15 +44,21 @@ __all__ = [
     "AgingAwareMultiplier",
     "AgingIndicator",
     "ArchitectureRunResult",
+    "DegradeRecovery",
+    "DetectOnlyRecovery",
     "FixedLatencyDesign",
     "JudgingBlock",
     "LatencyReport",
     "OperatingPoint",
+    "RecoveryPolicy",
     "SelectionResult",
+    "StrictRecovery",
     "StructuralArchitecture",
     "ThroughputReport",
+    "WindowResolution",
     "architecture_service_times",
     "max_sustainable_rate",
+    "resolve_policy",
     "select_operating_point",
     "simulate_queue",
     "validate_against_behavioral",

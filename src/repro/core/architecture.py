@@ -26,17 +26,31 @@ Two-cycle execution covers any pattern whose delay fits ``2T`` -- the
 paper's operating assumption in its preferred cycle-period ranges.  When
 the clock is pushed below that (the left edge of Figs. 13-18), a pattern
 can exceed even the two-cycle budget; such an operation cannot succeed by
-plain re-execution, so the model charges it a *slow retry*:
-``razor_penalty + ceil(delay / T)`` cycles (detection plus a multi-cycle
-fallback issue).  This is what turns the latency curves back up at short
-cycle periods and produces the paper's preferred-region shape; the report
-tracks these events separately (``deep_retry_ops``).
+plain re-execution.  What happens next is governed by a
+:class:`RecoveryPolicy` (selected through
+:attr:`~repro.config.SimulationConfig.recovery_policy` or per-run):
+
+* ``degrade`` (default) charges a *slow retry* -- ``razor_penalty +
+  ceil(delay / T)`` cycles (detection plus a multi-cycle fallback issue),
+  capped at :attr:`~repro.config.SimulationConfig.max_fallback_cycles` --
+  and records the event, so long fault-injection campaigns never abort
+  mid-stream.  This is what turns the latency curves back up at short
+  cycle periods and produces the paper's preferred-region shape; the
+  report tracks these events (``deep_retry_ops``, ``recovered_ops``,
+  ``recovery_exhausted_ops``).
+* ``strict`` raises :class:`repro.errors.RecoveryExhaustedError` the
+  moment an arrival overruns the shadow window while judged one-cycle
+  (undetectable violation) or the fallback cap is hit -- the hardware
+  guarantee, enforced.
+* ``detect-only`` charges no re-execution at all and only counts
+  detections and undetectable violations -- coverage accounting for
+  fault campaigns.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -45,10 +59,11 @@ from ..arith.reference import count_zeros, golden_products
 from ..config import (
     DEFAULT_SIM_CONFIG,
     DEFAULT_TECHNOLOGY,
+    RECOVERY_POLICIES,
     SimulationConfig,
     Technology,
 )
-from ..errors import ConfigError, SimulationError
+from ..errors import ConfigError, RecoveryExhaustedError, SimulationError
 from ..nets.area import AreaReport, area_report
 from ..nets.netlist import Netlist
 from ..razor.flipflop import RazorBank
@@ -56,6 +71,182 @@ from ..timing.sta import StaticTiming
 from .ahl import AdaptiveHoldLogic, ahl_netlist
 from .baselines import build_multiplier
 from .stats import ArchitectureRunResult, LatencyReport
+
+
+@dataclasses.dataclass
+class WindowResolution:
+    """Per-window outcome of a :class:`RecoveryPolicy`.
+
+    All arrays are per-pattern over the window slice: cycle charges,
+    Razor detections, undetectable violations, and which operations the
+    policy recovered with a fallback / gave up on at the retry cap.
+    """
+
+    cycles: np.ndarray
+    errors: np.ndarray
+    undetectable: np.ndarray
+    recovered: np.ndarray
+    exhausted: np.ndarray
+
+
+class RecoveryPolicy:
+    """How the architecture resolves arrivals Razor cannot absorb.
+
+    A policy turns one indicator window's worth of judged flags and path
+    delays into cycle charges and recovery statistics.  Subclasses
+    implement :meth:`resolve`; :func:`resolve_policy` maps the
+    configuration names (``"strict"``, ``"degrade"``, ``"detect-only"``)
+    to singletons.
+    """
+
+    name: str = "?"
+
+    def resolve(
+        self,
+        flags: np.ndarray,
+        delays: np.ndarray,
+        cycle_ns: float,
+        shadow_ns: float,
+        penalty: int,
+        max_fallback: int,
+        start_op: int = 0,
+    ) -> WindowResolution:
+        """Resolve one window.  ``flags`` marks one-cycle judgements;
+        ``start_op`` is the window's global operation offset (used in
+        diagnostics)."""
+        raise NotImplementedError
+
+    # Shared primitive classifications -------------------------------
+
+    @staticmethod
+    def _classify(flags, delays, cycle_ns, shadow_ns):
+        late = delays > cycle_ns
+        over = delays > 2.0 * cycle_ns
+        # A one-cycle pattern arriving past the shadow edge latches the
+        # same stale data in main and shadow: Razor sees no mismatch.
+        undetectable = flags & (delays > shadow_ns)
+        errors = (flags & late) | (~flags & over)
+        return late, over, undetectable, errors
+
+
+class DegradeRecovery(RecoveryPolicy):
+    """Bounded multi-cycle fallback with capped retries (the default).
+
+    Over-budget operations are charged ``penalty + min(ceil(delay / T),
+    max_fallback)`` cycles; operations that hit the cap are charged the
+    cap and flagged ``exhausted`` instead of aborting the run.
+    """
+
+    name = "degrade"
+
+    def resolve(self, flags, delays, cycle_ns, shadow_ns, penalty,
+                max_fallback, start_op=0):
+        late, over, undetectable, errors = self._classify(
+            flags, delays, cycle_ns, shadow_ns
+        )
+        fallback = np.ceil(delays / cycle_ns)
+        exhausted = over & (fallback > max_fallback)
+        retry = penalty + np.minimum(fallback, float(max_fallback))
+        base = np.where(flags, 1.0 + (flags & late) * penalty, 2.0)
+        cycles = np.where(over, retry, base)
+        return WindowResolution(
+            cycles=cycles,
+            errors=errors,
+            undetectable=undetectable,
+            recovered=over & ~exhausted,
+            exhausted=exhausted,
+        )
+
+
+class StrictRecovery(RecoveryPolicy):
+    """Raise on any overrun the architecture cannot guarantee to fix.
+
+    The first undetectable violation (one-cycle judgement past the
+    shadow window) or capped fallback raises
+    :class:`repro.errors.RecoveryExhaustedError`; otherwise accounting
+    matches ``degrade``.
+    """
+
+    name = "strict"
+
+    def resolve(self, flags, delays, cycle_ns, shadow_ns, penalty,
+                max_fallback, start_op=0):
+        resolution = DegradeRecovery.resolve(
+            self, flags, delays, cycle_ns, shadow_ns, penalty,
+            max_fallback, start_op,
+        )
+        fatal = resolution.undetectable | resolution.exhausted
+        if fatal.any():
+            index = int(np.argmax(fatal))
+            raise RecoveryExhaustedError(
+                "operation %d: arrival %.4f ns overruns the %s under the "
+                "strict recovery policy (cycle %.4f ns, shadow %.4f ns, "
+                "fallback cap %d)"
+                % (
+                    start_op + index,
+                    float(delays[index]),
+                    "shadow window"
+                    if resolution.undetectable[index]
+                    else "fallback cap",
+                    cycle_ns,
+                    shadow_ns,
+                    max_fallback,
+                ),
+                op_index=start_op + index,
+                delay_ns=float(delays[index]),
+            )
+        return resolution
+
+
+class DetectOnlyRecovery(RecoveryPolicy):
+    """Count detections and misses; charge no re-execution.
+
+    Every operation costs its judged one or two cycles; Razor errors and
+    undetectable violations are tallied for coverage reporting.  Used by
+    fault campaigns to measure what the Razor bank *would* catch.
+    """
+
+    name = "detect-only"
+
+    def resolve(self, flags, delays, cycle_ns, shadow_ns, penalty,
+                max_fallback, start_op=0):
+        late, over, undetectable, errors = self._classify(
+            flags, delays, cycle_ns, shadow_ns
+        )
+        zeros = np.zeros(flags.shape, dtype=bool)
+        return WindowResolution(
+            cycles=np.where(flags, 1.0, 2.0),
+            errors=errors,
+            undetectable=undetectable,
+            recovered=zeros,
+            exhausted=zeros.copy(),
+        )
+
+
+_POLICY_INSTANCES = {
+    "strict": StrictRecovery(),
+    "degrade": DegradeRecovery(),
+    "detect-only": DetectOnlyRecovery(),
+}
+
+
+def resolve_policy(
+    policy: Union[str, RecoveryPolicy, None],
+    config: SimulationConfig = DEFAULT_SIM_CONFIG,
+) -> RecoveryPolicy:
+    """Map a policy name (or None for the configured default) to an
+    instance; custom :class:`RecoveryPolicy` objects pass through."""
+    if policy is None:
+        policy = config.recovery_policy
+    if isinstance(policy, RecoveryPolicy):
+        return policy
+    try:
+        return _POLICY_INSTANCES[policy]
+    except KeyError:
+        raise ConfigError(
+            "unknown recovery policy %r (known: %s)"
+            % (policy, RECOVERY_POLICIES)
+        ) from None
 
 
 @dataclasses.dataclass
@@ -169,13 +360,16 @@ class AgingAwareMultiplier:
         seed: int = 1,
         years: float = 0.0,
         check_golden: bool = False,
+        policy: Union[str, RecoveryPolicy, None] = None,
     ) -> ArchitectureRunResult:
         """Run uniformly random operands (the paper's workload)."""
         rng = np.random.default_rng(seed)
         high = 1 << self.width
         md = rng.integers(0, high, num_patterns, dtype=np.uint64)
         mr = rng.integers(0, high, num_patterns, dtype=np.uint64)
-        return self.run_patterns(md, mr, years=years, check_golden=check_golden)
+        return self.run_patterns(
+            md, mr, years=years, check_golden=check_golden, policy=policy
+        )
 
     def run_patterns(
         self,
@@ -184,6 +378,7 @@ class AgingAwareMultiplier:
         years: float = 0.0,
         check_golden: bool = False,
         stream=None,
+        policy: Union[str, RecoveryPolicy, None] = None,
     ) -> ArchitectureRunResult:
         """Cycle-accurate execution of a pattern stream at age ``years``.
 
@@ -191,7 +386,13 @@ class AgingAwareMultiplier:
         :class:`~repro.timing.engine.StreamResult` for exactly these
         operands at exactly this age -- the cycle-period sweeps reuse one
         circuit simulation across every clock setting, since the path
-        delays do not depend on the clock.
+        delays do not depend on the clock.  Fault-injection campaigns
+        use the same mechanism to feed a *faulty* stream through the
+        healthy control loop.
+
+        ``policy`` overrides the configured recovery policy for this run
+        (a name from :data:`repro.config.RECOVERY_POLICIES` or a
+        :class:`RecoveryPolicy` instance).
         """
         md = np.asarray(md, dtype=np.uint64)
         mr = np.asarray(mr, dtype=np.uint64)
@@ -206,18 +407,14 @@ class AgingAwareMultiplier:
                 "precomputed stream has %d patterns, operands have %d"
                 % (stream.num_patterns, md.size)
             )
+        active_policy = resolve_policy(policy, self.config)
         delays = stream.delays
         zeros = count_zeros(self.judged_operand(md, mr), self.width)
 
         skew_ns = self.cycle_ns * self.config.shadow_skew_fraction
         razor = RazorBank(self.cycle_ns, skew_ns)
-        late = razor.errors(delays)
-        # Beyond the two-cycle budget: plain re-execution cannot finish
-        # either; these operations fall back to a slow multi-cycle retry.
+        shadow_ns = razor.cycle_ns + razor.shadow_skew_ns
         over_budget = delays > 2.0 * self.cycle_ns
-        retry_cycles = self.config.razor_penalty_cycles + np.ceil(
-            delays / self.cycle_ns
-        )
 
         ahl = AdaptiveHoldLogic(
             self.width, self.skip, self.config, adaptive=self.adaptive
@@ -226,31 +423,42 @@ class AgingAwareMultiplier:
         n = md.size
         window = self.config.indicator_window
         penalty = self.config.razor_penalty_cycles
+        max_fallback = self.config.max_fallback_cycles
         cycles = np.empty(n)
         one_cycle = np.empty(n, dtype=bool)
         errors = np.zeros(n, dtype=bool)
+        undetectable = np.zeros(n, dtype=bool)
+        recovered = np.zeros(n, dtype=bool)
+        exhausted = np.zeros(n, dtype=bool)
         window_errors = []
+        window_recoveries = []
         indicator_trace = []
-        undetectable = 0
-        deep_retries = 0
 
         for start in range(0, n, window):
             stop = min(start + window, n)
             flags = zeros[start:stop] >= ahl.active_block.skip
-            window_late = late[start:stop]
-            window_over = over_budget[start:stop]
-            err = (flags & window_late) | (~flags & window_over)
-            base = np.where(flags, 1.0 + (flags & window_late) * penalty, 2.0)
-            cycles[start:stop] = np.where(
-                window_over, retry_cycles[start:stop], base
+            resolution = active_policy.resolve(
+                flags,
+                delays[start:stop],
+                self.cycle_ns,
+                shadow_ns,
+                penalty,
+                max_fallback,
+                start_op=start,
             )
+            cycles[start:stop] = resolution.cycles
             one_cycle[start:stop] = flags
-            errors[start:stop] = err
-            undetectable += int((flags & window_over).sum())
-            deep_retries += int(window_over.sum())
-            num_errors = int(err.sum())
+            errors[start:stop] = resolution.errors
+            undetectable[start:stop] = resolution.undetectable
+            recovered[start:stop] = resolution.recovered
+            exhausted[start:stop] = resolution.exhausted
+            num_errors = int(resolution.errors.sum())
             ahl.observe(stop - start, num_errors)
             window_errors.append(num_errors)
+            window_recoveries.append(
+                int(resolution.recovered.sum())
+                + int(resolution.exhausted.sum())
+            )
             indicator_trace.append(ahl.indicator.aged)
 
         report = LatencyReport(
@@ -262,11 +470,15 @@ class AgingAwareMultiplier:
             one_cycle_ops=int(one_cycle.sum()),
             two_cycle_ops=int((~one_cycle).sum()),
             error_count=int(errors.sum()),
-            undetectable_count=undetectable,
+            undetectable_count=int(undetectable.sum()),
             window_errors=window_errors,
             indicator_trace=indicator_trace,
             indicator_aged_at=ahl.indicator.aged_at_op,
-            deep_retry_ops=deep_retries,
+            deep_retry_ops=int(over_budget.sum()),
+            policy=active_policy.name,
+            recovered_ops=int(recovered.sum()),
+            recovery_exhausted_ops=int(exhausted.sum()),
+            window_recoveries=window_recoveries,
         )
         golden_ok = None
         if check_golden:
@@ -283,6 +495,9 @@ class AgingAwareMultiplier:
             errors=errors,
             mean_switched_caps=stream.mean_switched_caps(),
             golden_ok=golden_ok,
+            undetectable=undetectable,
+            recovered=recovered,
+            exhausted=exhausted,
         )
 
     # ------------------------------------------------------------------

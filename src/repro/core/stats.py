@@ -8,6 +8,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 
+def _empty_int_list() -> List[int]:
+    return []
+
+
 @dataclasses.dataclass(frozen=True)
 class LatencyReport:
     """Cycle-accurate accounting of one pattern-stream execution.
@@ -30,6 +34,15 @@ class LatencyReport:
         indicator_trace: Indicator output after each window.
         indicator_aged_at: Operation index where the indicator flipped
             (-1 if it never did).
+        policy: Recovery policy the run executed under (``"strict"``,
+            ``"degrade"`` or ``"detect-only"``).
+        recovered_ops: Overrunning operations the policy absorbed with a
+            multi-cycle fallback inside the retry cap.
+        recovery_exhausted_ops: Overrunning operations that hit the
+            fallback cap (charged the cap, flagged in the stats; the
+            ``strict`` policy raises instead of counting).
+        window_recoveries: Recovery events (recovered + exhausted) per
+            indicator window.
     """
 
     name: str
@@ -45,6 +58,12 @@ class LatencyReport:
     indicator_trace: List[bool]
     indicator_aged_at: int
     deep_retry_ops: int = 0
+    policy: str = "degrade"
+    recovered_ops: int = 0
+    recovery_exhausted_ops: int = 0
+    window_recoveries: List[int] = dataclasses.field(
+        default_factory=_empty_int_list
+    )
 
     @property
     def average_latency_ns(self) -> float:
@@ -91,6 +110,8 @@ class LatencyReport:
             "one_cycle_ratio": self.one_cycle_ratio,
             "errors": float(self.error_count),
             "undetectable": float(self.undetectable_count),
+            "recovered": float(self.recovered_ops),
+            "recovery_exhausted": float(self.recovery_exhausted_ops),
         }
 
 
@@ -111,3 +132,12 @@ class ArchitectureRunResult:
     mean_switched_caps: float
     #: Whether products matched the golden model (None when unchecked).
     golden_ok: Optional[bool] = None
+    #: Per-pattern mask: arrival overran the shadow window while judged
+    #: one-cycle -- an undetectable violation (None on legacy paths).
+    undetectable: Optional[np.ndarray] = None
+    #: Per-pattern mask: the recovery policy absorbed an over-budget
+    #: operation with a multi-cycle fallback inside the cap.
+    recovered: Optional[np.ndarray] = None
+    #: Per-pattern mask: the fallback hit the retry cap (degrade policy
+    #: records these; strict raises on the first).
+    exhausted: Optional[np.ndarray] = None

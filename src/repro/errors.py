@@ -34,6 +34,27 @@ class SimulationError(ReproError):
     """A simulation was configured or driven inconsistently."""
 
 
+class FaultError(SimulationError):
+    """Invalid fault specification or injection target (bad net/cell id,
+    out-of-range rate, conflicting faults on one site, ...)."""
+
+
+class RecoveryExhaustedError(SimulationError):
+    """A timing overrun the active recovery policy refuses to absorb.
+
+    Raised by the ``strict`` policy when an operation overruns the shadow
+    window (undetectable violation) or needs more fallback cycles than
+    :attr:`repro.config.SimulationConfig.max_fallback_cycles` allows.
+    The ``degrade`` and ``detect-only`` policies record such events in
+    the run statistics instead of raising.
+    """
+
+    def __init__(self, message, op_index=None, delay_ns=None):
+        self.op_index = op_index
+        self.delay_ns = delay_ns
+        super().__init__(message)
+
+
 class CalibrationError(ReproError):
     """A calibration target could not be met."""
 

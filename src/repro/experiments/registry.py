@@ -10,6 +10,7 @@ from . import (
     claims,
     ext_baselines,
     ext_em,
+    ext_faults,
     ext_vladder,
     ext_workloads,
     fig05_delay_distribution,
@@ -53,6 +54,7 @@ REGISTRY: Dict[str, Callable] = {
     "claims": claims.run,
     "ext_em": ext_em.run,
     "ext_baselines": ext_baselines.run,
+    "ext_faults": ext_faults.run,
     "ext_vladder": ext_vladder.run,
     "ext_workloads": ext_workloads.run,
 }

@@ -1,0 +1,293 @@
+"""Fault-injection campaigns over the aging-aware architecture.
+
+An :class:`InjectionCampaign` sweeps a list of single-fault sites over
+one :class:`~repro.core.architecture.AgingAwareMultiplier`: for every
+site it compiles the faulty circuit, streams the same operands through
+it, feeds the faulty per-pattern delays and products through the healthy
+Razor/AHL control loop, and classifies every corrupted pattern as
+*detected* (Razor flagged it) or *silent* (the corruption arrived early
+enough to latch cleanly -- the coverage hole value faults exploit).
+
+The campaign never aborts mid-sweep: site runs execute under the
+architecture's configured recovery policy (``degrade`` by default), so
+even sites that push arrivals past the shadow window complete and are
+reported.  A campaign with zero faults is bit-identical to the pristine
+baseline run -- property-tested, and the sanity anchor for every
+coverage number produced here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arith.reference import golden_products
+from ..core.architecture import AgingAwareMultiplier
+from ..core.stats import ArchitectureRunResult
+from ..errors import FaultError
+from .injector import compile_with_faults, enumerate_fault_sites
+from .models import FaultModel
+
+
+@dataclasses.dataclass(frozen=True)
+class SiteReport:
+    """Detection/recovery statistics of one fault site.
+
+    Attributes:
+        label: Human-readable site description.
+        kind: Fault class tag (``stuck-at-0``, ``transient``, ...).
+        corrupted_ops: Patterns whose product differed from golden.
+        detected_ops: Corrupted patterns the Razor bank flagged.
+        silent_ops: Corrupted patterns that latched without a flag.
+        razor_errors: All Razor detections (corrupted or not -- a delay
+            fault can be caught and fixed by re-execution).
+        undetectable_ops: One-cycle patterns past the shadow window.
+        recovered_ops: Over-budget patterns absorbed by the fallback.
+        exhausted_ops: Patterns that hit the fallback cap.
+        avg_latency_ns: Mean latency under the fault.
+        indicator_aged_at: Operation index where the AHL switched to
+            Skip-(n+1) under this fault (-1: never).
+    """
+
+    label: str
+    kind: str
+    corrupted_ops: int
+    detected_ops: int
+    silent_ops: int
+    razor_errors: int
+    undetectable_ops: int
+    recovered_ops: int
+    exhausted_ops: int
+    avg_latency_ns: float
+    indicator_aged_at: int
+
+    @property
+    def detection_fraction(self) -> float:
+        """Detected fraction of corrupted patterns (1.0 when nothing
+        was corrupted -- a benign site has full coverage by default)."""
+        if self.corrupted_ops == 0:
+            return 1.0
+        return self.detected_ops / self.corrupted_ops
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Per-site reports plus the pristine baseline they compare against."""
+
+    design: str
+    num_patterns: int
+    years: float
+    baseline: ArchitectureRunResult
+    sites: List[SiteReport]
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    @property
+    def corrupting_sites(self) -> int:
+        """Sites whose fault corrupted at least one product."""
+        return sum(1 for s in self.sites if s.corrupted_ops > 0)
+
+    def detection_coverage(self, kind: Optional[str] = None) -> float:
+        """Mean per-site detection fraction over corrupting sites."""
+        picked = [
+            s
+            for s in self.sites
+            if s.corrupted_ops > 0 and (kind is None or s.kind == kind)
+        ]
+        if not picked:
+            return 1.0
+        return float(
+            np.mean([s.detection_fraction for s in picked])
+        )
+
+    def silent_corruption_rate(self) -> float:
+        """Silent corrupted patterns per simulated pattern, over sites."""
+        total = self.num_sites * self.num_patterns
+        if total == 0:
+            return 0.0
+        return sum(s.silent_ops for s in self.sites) / total
+
+    def by_kind(self) -> Dict[str, List[SiteReport]]:
+        kinds: Dict[str, List[SiteReport]] = {}
+        for site in self.sites:
+            kinds.setdefault(site.kind, []).append(site)
+        return kinds
+
+    def render(self) -> str:
+        from ..analysis.tables import format_table
+
+        rows = []
+        for kind, sites in sorted(self.by_kind().items()):
+            corrupting = [s for s in sites if s.corrupted_ops > 0]
+            rows.append(
+                [
+                    kind,
+                    len(sites),
+                    len(corrupting),
+                    self.detection_coverage(kind),
+                    float(np.mean([s.avg_latency_ns for s in sites])),
+                    sum(s.recovered_ops for s in sites),
+                    sum(s.exhausted_ops for s in sites),
+                ]
+            )
+        header = (
+            "%s: %d sites x %d patterns (baseline %.4g ns/op, policy %s)"
+            % (
+                self.design,
+                self.num_sites,
+                self.num_patterns,
+                self.baseline.report.average_latency_ns,
+                self.baseline.report.policy,
+            )
+        )
+        table = format_table(
+            [
+                "fault kind",
+                "sites",
+                "corrupting",
+                "detection",
+                "ns/op",
+                "recovered",
+                "exhausted",
+            ],
+            rows,
+        )
+        return header + "\n" + table
+
+
+class InjectionCampaign:
+    """Sweep fault sites through one architecture on a fixed workload.
+
+    Args:
+        architecture: The design under test (its configured recovery
+            policy governs the site runs; the default ``degrade`` never
+            aborts a sweep).
+        faults: Fault sites to inject, one at a time.  May be empty --
+            the campaign then reduces to the pristine baseline.
+        num_patterns: Operand pairs per site.
+        seed: Operand-stream seed.
+        years: BTI aging point every site is simulated at.
+    """
+
+    def __init__(
+        self,
+        architecture: AgingAwareMultiplier,
+        faults: Sequence[FaultModel],
+        num_patterns: int = 2000,
+        seed: int = 1,
+        years: float = 0.0,
+    ):
+        if num_patterns < 1:
+            raise FaultError("num_patterns must be >= 1")
+        for fault in faults:
+            if not isinstance(fault, FaultModel):
+                raise FaultError("not a fault model: %r" % (fault,))
+            fault.validate(architecture.netlist)
+        self.architecture = architecture
+        self.faults = list(faults)
+        self.num_patterns = num_patterns
+        self.seed = seed
+        self.years = years
+        rng = np.random.default_rng(seed)
+        high = 1 << architecture.width
+        self.md = rng.integers(0, high, num_patterns, dtype=np.uint64)
+        self.mr = rng.integers(0, high, num_patterns, dtype=np.uint64)
+        self._golden = golden_products(
+            self.md, self.mr, architecture.width
+        )
+        self._base_scale = (
+            architecture.factory.delay_scale(years) if years else None
+        )
+
+    @classmethod
+    def sweep(
+        cls,
+        architecture: AgingAwareMultiplier,
+        num_sites: int,
+        num_patterns: int = 2000,
+        seed: int = 1,
+        years: float = 0.0,
+        kinds: Sequence[str] = ("sa0", "sa1", "transient", "delay"),
+        transient_rate: Optional[float] = None,
+        delay_extra_ns: Optional[float] = None,
+    ) -> "InjectionCampaign":
+        """Campaign over an automatically enumerated site sweep."""
+        if transient_rate is None:
+            transient_rate = architecture.config.default_transient_rate
+        if delay_extra_ns is None:
+            delay_extra_ns = 0.5 * architecture.cycle_ns
+        sites = enumerate_fault_sites(
+            architecture.netlist,
+            kinds=kinds,
+            limit=num_sites,
+            seed=seed,
+            transient_rate=transient_rate,
+            delay_extra_ns=delay_extra_ns,
+        )
+        return cls(
+            architecture, sites, num_patterns, seed=seed, years=years
+        )
+
+    # ------------------------------------------------------------------
+
+    def run_pristine(self) -> ArchitectureRunResult:
+        """The fault-free reference run on the campaign workload."""
+        circuit = compile_with_faults(
+            self.architecture.netlist,
+            [],
+            self.architecture.technology,
+            delay_scale=self._base_scale,
+        )
+        stream = circuit.run({"md": self.md, "mr": self.mr})
+        return self.architecture.run_patterns(
+            self.md, self.mr, years=self.years, stream=stream
+        )
+
+    def run_site(
+        self, fault: FaultModel
+    ) -> Tuple[SiteReport, ArchitectureRunResult]:
+        """Inject one fault and execute the full control loop."""
+        arch = self.architecture
+        circuit = compile_with_faults(
+            arch.netlist,
+            [fault],
+            arch.technology,
+            delay_scale=self._base_scale,
+        )
+        stream = circuit.run({"md": self.md, "mr": self.mr})
+        result = arch.run_patterns(
+            self.md, self.mr, years=self.years, stream=stream
+        )
+        corrupted = result.products != self._golden
+        detected = corrupted & result.errors
+        report = result.report
+        site = SiteReport(
+            label=fault.describe(arch.netlist),
+            kind=fault.kind,
+            corrupted_ops=int(corrupted.sum()),
+            detected_ops=int(detected.sum()),
+            silent_ops=int((corrupted & ~result.errors).sum()),
+            razor_errors=report.error_count,
+            undetectable_ops=report.undetectable_count,
+            recovered_ops=report.recovered_ops,
+            exhausted_ops=report.recovery_exhausted_ops,
+            avg_latency_ns=report.average_latency_ns,
+            indicator_aged_at=report.indicator_aged_at,
+        )
+        return site, result
+
+    def run(self) -> CampaignResult:
+        """Run every site and collect the campaign result."""
+        baseline = self.run_pristine()
+        sites = [self.run_site(fault)[0] for fault in self.faults]
+        return CampaignResult(
+            design=self.architecture.name,
+            num_patterns=self.num_patterns,
+            years=self.years,
+            baseline=baseline,
+            sites=sites,
+        )

@@ -1,0 +1,159 @@
+"""Applying fault models to a netlist / compiled engine.
+
+:func:`compile_with_faults` is the single entry point: it folds any mix
+of value faults (stuck-at, transient flips -- applied through the
+engine's fault hooks) and delay faults (applied through the per-cell
+delay-scale vector, composing with aging/EM scales) into one
+:class:`~repro.timing.engine.CompiledCircuit`.
+
+:func:`enumerate_fault_sites` produces a deterministic, seeded sweep of
+candidate fault sites over a netlist's cell outputs, used by
+:class:`repro.faults.campaign.InjectionCampaign`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import DEFAULT_TECHNOLOGY, Technology
+from ..errors import FaultError
+from ..nets.netlist import Netlist
+from ..timing.engine import CompiledCircuit, FaultHook
+from .models import DelayFault, FaultModel, StuckAtFault, TransientBitFlip
+
+#: Fault-kind tags accepted by :func:`enumerate_fault_sites`.
+SITE_KINDS = ("sa0", "sa1", "transient", "delay")
+
+
+def _chain_hooks(first: FaultHook, second: FaultHook) -> FaultHook:
+    def chained(values: np.ndarray, start_index: int) -> np.ndarray:
+        return second(first(values, start_index), start_index)
+
+    return chained
+
+
+def build_fault_hooks(
+    netlist: Netlist, faults: Sequence[FaultModel]
+) -> Dict[int, FaultHook]:
+    """Collect the value-fault hooks of ``faults`` keyed by net id.
+
+    Multiple value faults on the same net compose in listed order (e.g.
+    a transient flip on top of a stuck net is absorbed by the stuck-at
+    applied last).
+    """
+    hooks: Dict[int, FaultHook] = {}
+    for fault in faults:
+        if not isinstance(fault, FaultModel):
+            raise FaultError("not a fault model: %r" % (fault,))
+        fault.validate(netlist)
+        hook = fault.value_hook()
+        if hook is None:
+            continue
+        net = fault.net
+        hooks[net] = (
+            _chain_hooks(hooks[net], hook) if net in hooks else hook
+        )
+    return hooks
+
+
+def fault_delay_scale(
+    netlist: Netlist,
+    faults: Sequence[FaultModel],
+    technology: Technology = DEFAULT_TECHNOLOGY,
+    base_scale: Optional[np.ndarray] = None,
+) -> Optional[np.ndarray]:
+    """Fold :class:`DelayFault` extras into a per-cell delay-scale vector.
+
+    The compiled delay of cell ``i`` is ``delay_units * time_unit_ns *
+    scale[i]``, so an additive ``extra_ns`` becomes an additive
+    delay-scale term.  Returns ``base_scale`` (possibly None) untouched
+    when no delay faults are present.
+    """
+    delay_faults = [f for f in faults if isinstance(f, DelayFault)]
+    if not delay_faults:
+        return base_scale
+    num_cells = len(netlist.cells)
+    if base_scale is None:
+        scale = np.ones(num_cells)
+    else:
+        scale = np.asarray(base_scale, dtype=float).copy()
+        if scale.shape != (num_cells,):
+            raise FaultError(
+                "base delay scale must have one entry per cell (%d), got %r"
+                % (num_cells, scale.shape)
+            )
+    unit = technology.time_unit_ns
+    for fault in delay_faults:
+        fault.validate(netlist)
+        cell = netlist.cells[fault.cell]
+        scale[fault.cell] += fault.extra_ns / (
+            cell.cell_type.delay_units * unit
+        )
+    return scale
+
+
+def compile_with_faults(
+    netlist: Netlist,
+    faults: Sequence[FaultModel],
+    technology: Technology = DEFAULT_TECHNOLOGY,
+    delay_scale: Optional[np.ndarray] = None,
+    mode: str = "inertial",
+) -> CompiledCircuit:
+    """Compile ``netlist`` with ``faults`` injected.
+
+    With an empty fault list this is exactly ``CompiledCircuit(netlist,
+    technology, delay_scale, mode)`` -- the zero-fault campaign is
+    bit-identical to the pristine simulation (property-tested).
+    """
+    hooks = build_fault_hooks(netlist, faults)
+    scale = fault_delay_scale(netlist, faults, technology, delay_scale)
+    return CompiledCircuit(
+        netlist, technology, scale, mode, fault_hooks=hooks or None
+    )
+
+
+def enumerate_fault_sites(
+    netlist: Netlist,
+    kinds: Sequence[str] = SITE_KINDS,
+    limit: Optional[int] = None,
+    seed: int = 0,
+    transient_rate: float = 1e-3,
+    delay_extra_ns: float = 0.25,
+) -> List[FaultModel]:
+    """A deterministic sweep of single-fault sites over cell outputs.
+
+    Cycles through ``kinds`` across a seeded shuffle of the netlist's
+    cells, one fault per site, ``limit`` sites in total (all
+    ``len(cells) * len(kinds)`` combinations when None).  Stuck-at and
+    transient faults target the cell's output net; delay faults target
+    the cell itself.
+    """
+    for kind in kinds:
+        if kind not in SITE_KINDS:
+            raise FaultError(
+                "unknown fault site kind %r (known: %s)"
+                % (kind, SITE_KINDS)
+            )
+    if not netlist.cells:
+        return []
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(netlist.cells))
+    total = len(order) * len(kinds)
+    count = total if limit is None else min(limit, total)
+    sites: List[FaultModel] = []
+    for i in range(count):
+        cell = netlist.cells[int(order[i % len(order)])]
+        kind = kinds[i % len(kinds)]
+        if kind == "sa0":
+            sites.append(StuckAtFault(cell.output, 0))
+        elif kind == "sa1":
+            sites.append(StuckAtFault(cell.output, 1))
+        elif kind == "transient":
+            sites.append(
+                TransientBitFlip(cell.output, transient_rate, seed=seed + i)
+            )
+        else:
+            sites.append(DelayFault(cell.index, delay_extra_ns))
+    return sites

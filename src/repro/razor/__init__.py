@@ -7,6 +7,6 @@ uses one Razor flip-flop per product bit and ORs the per-bit error flags
 (:class:`RazorBank`) to trigger re-execution.
 """
 
-from .flipflop import RazorBank, RazorFlipFlop
+from .flipflop import RazorBank, RazorFlipFlop, RazorSample
 
-__all__ = ["RazorBank", "RazorFlipFlop"]
+__all__ = ["RazorBank", "RazorFlipFlop", "RazorSample"]

@@ -33,14 +33,21 @@ carrying each net's final value and each bypass group's held value.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..config import DEFAULT_TECHNOLOGY, Technology
-from ..errors import SimulationError
+from ..errors import FaultError, SimulationError
 from ..nets.netlist import CONST0, CONST1, Netlist
 from . import logic
+
+#: A value-fault hook: maps a net's per-pattern bit stream to the faulted
+#: stream.  ``start_index`` is the *global* index of the first element
+#: (-1 for the prepended settling pattern), so hooks stay deterministic
+#: across chunk boundaries.  Hooks must be pure functions of their
+#: arguments.
+FaultHook = Callable[[np.ndarray, int], np.ndarray]
 
 #: Delay-semantics modes accepted by :class:`CompiledCircuit`.
 MODES = ("inertial", "floating")
@@ -106,6 +113,13 @@ class CompiledCircuit:
         delay_scale: Optional per-cell multiplicative delay factors
             (indexed by cell index) -- this is how aging enters timing.
         mode: Delay semantics, ``"inertial"`` or ``"floating"``.
+        fault_hooks: Optional net id -> :data:`FaultHook` mapping.  Each
+            hook rewrites that net's settled-value stream *before* change
+            detection, so arrivals, switching activity and downstream
+            logic all see the faulted values (this is how stuck-at and
+            transient value faults enter the simulation; delay faults
+            enter through ``delay_scale``).  Constant rails cannot be
+            hooked.
     """
 
     def __init__(
@@ -114,6 +128,7 @@ class CompiledCircuit:
         technology: Technology = DEFAULT_TECHNOLOGY,
         delay_scale: Optional[np.ndarray] = None,
         mode: str = "inertial",
+        fault_hooks: Optional[Dict[int, FaultHook]] = None,
     ):
         if mode not in MODES:
             raise SimulationError(
@@ -123,6 +138,18 @@ class CompiledCircuit:
         self.netlist = netlist
         self.technology = technology
         self.mode = mode
+        self.fault_hooks: Dict[int, FaultHook] = dict(fault_hooks or {})
+        for net in self.fault_hooks:
+            if not isinstance(net, int) or isinstance(net, bool):
+                raise FaultError("fault hook net id must be an int, got %r"
+                                 % (net,))
+            if net in (CONST0, CONST1):
+                raise FaultError("cannot hook the constant rails")
+            if not 0 <= net < netlist.num_nets:
+                raise FaultError(
+                    "fault hook net %d out of range (netlist has %d nets)"
+                    % (net, netlist.num_nets)
+                )
         order = netlist.levelize()
         if delay_scale is None:
             scale = np.ones(len(netlist.cells))
@@ -172,7 +199,8 @@ class CompiledCircuit:
     def with_delay_scale(self, delay_scale: np.ndarray) -> "CompiledCircuit":
         """Recompile with new per-cell delay factors (e.g. another year)."""
         return CompiledCircuit(
-            self.netlist, self.technology, delay_scale, self.mode
+            self.netlist, self.technology, delay_scale, self.mode,
+            self.fault_hooks,
         )
 
     def cell_delays_ns(self) -> np.ndarray:
@@ -244,6 +272,7 @@ class CompiledCircuit:
                 collect_bit_arrivals=collect_bit_arrivals,
                 collect_net_stats=collect_net_stats,
                 drop_first=True,
+                start_index=-1,
             )
             return result
 
@@ -265,6 +294,7 @@ class CompiledCircuit:
                 collect_bit_arrivals=collect_bit_arrivals,
                 collect_net_stats=collect_net_stats,
                 drop_first=first_chunk,
+                start_index=start - 1,
             )
             pieces.append(result)
             start = stop
@@ -281,13 +311,17 @@ class CompiledCircuit:
         collect_bit_arrivals: bool,
         collect_net_stats: bool,
         drop_first: bool,
+        start_index: int = -1,
     ):
         """Simulate one chunk.
 
         ``carry_values`` holds every net's settled value at the end of
         the previous chunk (None for the first chunk, which instead
         starts with the prepended settling pattern and ``drop_first``).
+        ``start_index`` is the global pattern index of the chunk's first
+        element (-1 for the settling pattern), forwarded to fault hooks.
         """
+        fault_hooks = self.fault_hooks
         netlist = self.netlist
         n = next(iter(arrays.values())).shape[0]
         zeros_f = np.zeros(n)
@@ -329,6 +363,10 @@ class CompiledCircuit:
             bits = logic.unpack_bits(arrays[name], port.width)
             for lane, net in enumerate(port.nets):
                 cur = bits[lane]
+                if net in fault_hooks:
+                    cur = np.asarray(
+                        fault_hooks[net](cur, start_index), dtype=np.uint8
+                    )
                 flags = changed_flags(net, cur)
                 values[net] = cur
                 mays[net] = flags
@@ -347,6 +385,10 @@ class CompiledCircuit:
             in_arrs = [arrs[net] for net in compiled.inputs]
             out_val = logic.eval_vector(compiled.opcode, in_vals)
             net = compiled.output
+            if net in fault_hooks:
+                out_val = np.asarray(
+                    fault_hooks[net](out_val, start_index), dtype=np.uint8
+                )
             changed = changed_flags(net, out_val)
             out_may, out_arr = logic.arrival_vector(
                 compiled.opcode,

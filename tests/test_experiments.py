@@ -31,8 +31,8 @@ class TestRegistry:
             "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
             "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
             "fig25", "fig26", "fig27",
-            "ext_em", "ext_baselines", "ext_workloads", "ext_vladder",
-            "claims",
+            "ext_em", "ext_baselines", "ext_faults", "ext_workloads",
+            "ext_vladder", "claims",
         }
         assert set(REGISTRY) == expected
 

@@ -1,8 +1,13 @@
-"""Extension experiments: EM lifetime, baselines, application workloads."""
+"""Extension experiments: EM lifetime, baselines, workloads, faults."""
 
 import pytest
 
-from repro.experiments import ext_baselines, ext_em, ext_workloads
+from repro.experiments import (
+    ext_baselines,
+    ext_em,
+    ext_faults,
+    ext_workloads,
+)
 
 
 class TestExtBaselines:
@@ -94,3 +99,36 @@ class TestExtEm:
 
     def test_render(self, result):
         assert "BTI+EM" in result.render()
+
+
+class TestExtFaults:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return ext_faults.run(ctx, num_sites=40, num_patterns=400)
+
+    def test_delay_faults_fully_covered(self, result):
+        """Razor is a timing monitor: every corruption a delay fault can
+        cause is a late arrival, which Razor samples for."""
+        assert result.coverage("delay") == 1.0
+
+    def test_value_corruption_mostly_silent(self, result):
+        assert result.coverage("stuck-at-0") < 0.5
+        assert result.coverage("stuck-at-1") < 0.5
+        assert result.campaign.silent_corruption_rate() > 0
+
+    def test_campaign_never_aborts(self, result):
+        assert result.campaign.num_sites == 40
+        assert result.campaign.baseline.report.policy == "degrade"
+
+    def test_hotspot_trips_indicator(self, result):
+        hotspot = result.hotspot
+        assert hotspot.errors["traditional"] > hotspot.pristine_errors
+        assert hotspot.adaptive_aged_at >= 0
+        assert (
+            hotspot.errors["adaptive"] < hotspot.errors["traditional"]
+        )
+
+    def test_render(self, result):
+        text = result.render()
+        assert "fault kind" in text
+        assert "hot-spot" in text

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.razor import RazorBank, RazorFlipFlop
+from repro.razor import RazorBank, RazorFlipFlop, RazorSample
 
 
 class TestRazorFlipFlop:
@@ -23,6 +23,12 @@ class TestRazorFlipFlop:
     def test_beyond_shadow_window_raises(self):
         with pytest.raises(SimulationError):
             self.ff.samples(2.5, 1)
+
+    def test_beyond_shadow_window_non_strict(self):
+        # Under any non-strict policy the scalar path reports the
+        # physical outcome: both latches stale, error line low.
+        main, shadow, error = self.ff.samples(2.5, 1, policy="degrade")
+        assert (main, shadow, error) == (0, 0, False)
 
     def test_error_predicate(self):
         assert not self.ff.error(1.0)
@@ -63,3 +69,40 @@ class TestRazorBank:
 
     def test_scalar_inputs_accepted(self):
         assert bool(self.bank.errors(1.5)) is True
+
+    def test_batch_samples_never_raise(self):
+        # One overrun pattern must not abort the batch: it surfaces in
+        # the undetectable mask while the other patterns stay valid.
+        arrivals = np.array([0.5, 1.0, 1.7, 1.81, 5.0])
+        values = np.ones(5, dtype=np.uint8)
+        sample = self.bank.samples(arrivals, values)
+        assert isinstance(sample, RazorSample)
+        assert sample.error.tolist() == [False, True, True, False, False]
+        assert sample.undetectable.tolist() == [
+            False, False, False, True, True,
+        ]
+        # Main FF latches stale data for every late arrival; the shadow
+        # latch goes stale only past its own window.
+        assert sample.main.tolist() == [1, 0, 0, 0, 0]
+        assert sample.shadow.tolist() == [1, 1, 1, 0, 0]
+        # Error line = main/shadow mismatch, everywhere.
+        assert np.array_equal(sample.error, sample.main != sample.shadow)
+
+    def test_batch_matches_scalar_in_window(self):
+        ff = RazorFlipFlop(self.bank.cycle_ns, self.bank.shadow_skew_ns)
+        for arrival in [0.3, 0.95, 1.5, 1.79]:
+            for value in (0, 1):
+                main, shadow, error = ff.samples(arrival, value)
+                sample = self.bank.samples(
+                    np.array([arrival]), np.array([value])
+                )
+                assert sample.main[0] == main
+                assert sample.shadow[0] == shadow
+                assert bool(sample.error[0]) == error
+
+    def test_batch_undetectable_agrees_with_predicate(self):
+        arrivals = np.linspace(0.0, 3.0, 31)
+        sample = self.bank.samples(arrivals, np.zeros(31, dtype=np.uint8))
+        assert np.array_equal(
+            sample.undetectable, self.bank.undetectable(arrivals)
+        )
