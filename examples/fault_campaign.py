@@ -13,8 +13,17 @@ multi-cycle retry (recorded in the per-site stats) instead of aborting
 the sweep.  A second run shows the ``strict`` policy doing exactly
 that -- refusing to continue past the first unrecoverable overrun.
 
+The sweep itself runs as a *campaign job*: sharded over two worker
+processes (bit-identical to serial), checkpointed to a JSONL file after
+every site, and pruned of sites whose logic cone cannot reach any
+product bit.  Re-running the script resumes from the checkpoint instead
+of re-simulating -- delete the file to start fresh.
+
 Run:  python examples/fault_campaign.py
 """
+
+import os
+import tempfile
 
 from repro import AgingAwareMultiplier, RecoveryExhaustedError
 from repro.faults import DelayFault, InjectionCampaign, compile_with_faults
@@ -22,6 +31,7 @@ from repro.faults import DelayFault, InjectionCampaign, compile_with_faults
 WIDTH = 8
 SITES = 60
 PATTERNS = 2_000
+CHECKPOINT = os.path.join(tempfile.gettempdir(), "repro_campaign.jsonl")
 
 
 def main():
@@ -34,15 +44,20 @@ def main():
     mult = mult.with_cycle(0.6 * mult.critical_path_ns())
 
     print(
-        "Sweeping %d fault sites x %d patterns (degrade policy)..."
-        % (SITES, PATTERNS)
+        "Sweeping %d fault sites x %d patterns (degrade policy,"
+        " 2 workers, checkpoint %s)..." % (SITES, PATTERNS, CHECKPOINT)
     )
     campaign = InjectionCampaign.sweep(
         mult, num_sites=SITES, num_patterns=PATTERNS, seed=7
     )
-    result = campaign.run()
+    result = campaign.run(workers=2, checkpoint=CHECKPOINT)
     print()
     print(result.render())
+    if result.resumed_sites:
+        print(
+            "(resumed %d already-simulated sites from the checkpoint)"
+            % result.resumed_sites
+        )
     print()
     print(
         "silent corruption rate: %.4f corrupted-and-unflagged products"

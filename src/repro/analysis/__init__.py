@@ -1,7 +1,16 @@
 """Result presentation: histograms, ASCII tables and series."""
 
 from .histogram import Histogram
+from .serialize import Summarizable, dump_json, to_json
 from .series import Series, improvement
 from .tables import format_table
 
-__all__ = ["Histogram", "Series", "format_table", "improvement"]
+__all__ = [
+    "Histogram",
+    "Series",
+    "Summarizable",
+    "dump_json",
+    "format_table",
+    "improvement",
+    "to_json",
+]

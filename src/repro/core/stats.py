@@ -114,6 +114,21 @@ class LatencyReport:
             "recovery_exhausted": float(self.recovery_exhausted_ops),
         }
 
+    def to_dict(self) -> Dict:
+        """JSON-ready dict: every field plus the derived ratios.
+
+        This is the one serialization path (see
+        :mod:`repro.analysis.serialize`): the campaign checkpoint store,
+        ``render()`` headers and the benchmark JSON all consume it.
+        """
+        data = dataclasses.asdict(self)
+        data["indicator_trace"] = [bool(x) for x in self.indicator_trace]
+        data.update(self.summary())
+        data["name"] = self.name
+        data["policy"] = self.policy
+        data["num_ops"] = self.num_ops
+        return data
+
 
 @dataclasses.dataclass
 class ArchitectureRunResult:
@@ -141,3 +156,23 @@ class ArchitectureRunResult:
     #: Per-pattern mask: the fallback hit the retry cap (degrade policy
     #: records these; strict raises on the first).
     exhausted: Optional[np.ndarray] = None
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar summary (the :class:`LatencyReport` one plus run-level
+        aggregates) -- same protocol as ``CampaignResult.summary()``."""
+        data = self.report.summary()
+        data["num_ops"] = float(self.report.num_ops)
+        data["mean_switched_caps"] = float(self.mean_switched_caps)
+        if self.golden_ok is not None:
+            data["golden_ok"] = float(self.golden_ok)
+        return data
+
+    def to_dict(self) -> Dict:
+        """JSON-ready dict (scalar statistics only -- the per-pattern
+        arrays stay in memory; serialize them separately if needed)."""
+        return {
+            "report": self.report.to_dict(),
+            "mean_switched_caps": float(self.mean_switched_caps),
+            "golden_ok": self.golden_ok,
+            "num_ops": self.report.num_ops,
+        }

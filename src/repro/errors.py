@@ -39,6 +39,32 @@ class FaultError(SimulationError):
     out-of-range rate, conflicting faults on one site, ...)."""
 
 
+class CheckpointError(FaultError):
+    """A campaign checkpoint file cannot be used (fingerprint mismatch,
+    mid-file corruption, unsupported version, ...)."""
+
+
+class CampaignInterrupted(SimulationError):
+    """A fault-injection campaign was interrupted before completion.
+
+    Raised by :meth:`repro.faults.InjectionCampaign.run` when a SIGINT /
+    :class:`KeyboardInterrupt` lands mid-sweep.  The checkpoint (when one
+    is configured) has already been flushed; :attr:`partial` carries the
+    reports completed so far so callers can still print coverage.
+
+    Attributes:
+        partial: The partial :class:`~repro.faults.CampaignResult`.
+        completed: Sites finished before the interrupt.
+        total: Sites the campaign was asked to run.
+    """
+
+    def __init__(self, message, partial=None, completed=0, total=0):
+        self.partial = partial
+        self.completed = completed
+        self.total = total
+        super().__init__(message)
+
+
 class RecoveryExhaustedError(SimulationError):
     """A timing overrun the active recovery policy refuses to absorb.
 

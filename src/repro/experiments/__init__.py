@@ -17,11 +17,19 @@ EXPERIMENTS.md for recorded paper-vs-measured values.
 """
 
 from .context import ExperimentContext
-from .registry import REGISTRY, get_experiment, run_experiment
+from .registry import (
+    REGISTRY,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
 
 __all__ = [
     "ExperimentContext",
+    "ExperimentSpec",
     "REGISTRY",
     "get_experiment",
+    "list_experiments",
     "run_experiment",
 ]

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.experiments                # list experiments
+    python -m repro.experiments --tag paper    # list a tag's experiments
     python -m repro.experiments fig05          # run one
     python -m repro.experiments all            # run everything
     python -m repro.experiments all --scale .1 # quick pass (10% patterns)
@@ -15,7 +16,7 @@ import sys
 import time
 
 from .context import ExperimentContext
-from .registry import REGISTRY, run_experiment
+from .registry import list_experiments, run_experiment
 
 
 def main(argv=None) -> int:
@@ -39,16 +40,27 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="also write a markdown reproduction report to PATH",
     )
+    parser.add_argument(
+        "--tag",
+        help="restrict the listing / 'all' run to one tag "
+        "(e.g. paper, extension)",
+    )
     args = parser.parse_args(argv)
 
     if not args.experiment:
         print("available experiments:")
-        for name in sorted(REGISTRY):
-            print("  %s" % name)
+        for spec in list_experiments(tag=args.tag):
+            print(
+                "  %-14s %-45s [%s]"
+                % (spec.id, spec.title, ", ".join(spec.tags))
+            )
         return 0
 
     context = ExperimentContext(scale=args.scale)
-    names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        names = [spec.id for spec in list_experiments(tag=args.tag)]
+    else:
+        names = [args.experiment]
     report = None
     if args.report:
         from ..analysis.report import ReproductionReport

@@ -60,6 +60,35 @@ class FaultCoverageResult:
     def coverage(self, kind: Optional[str] = None) -> float:
         return self.campaign.detection_coverage(kind)
 
+    def summary(self) -> Dict:
+        out = {
+            "width": self.width,
+            "cycle_ns": self.cycle_ns,
+            "hotspot_adaptive_errors": self.hotspot.errors["adaptive"],
+            "hotspot_traditional_errors":
+                self.hotspot.errors["traditional"],
+            "hotspot_adaptive_aged_at": self.hotspot.adaptive_aged_at,
+        }
+        out.update(
+            ("campaign_%s" % key, value)
+            for key, value in self.campaign.summary().items()
+        )
+        return out
+
+    def to_dict(self) -> Dict:
+        return {
+            "width": self.width,
+            "cycle_ns": self.cycle_ns,
+            "campaign": self.campaign.to_dict(),
+            "hotspot": {
+                "fault": self.hotspot.fault.describe(),
+                "errors": dict(self.hotspot.errors),
+                "latency_ns": dict(self.hotspot.latency_ns),
+                "adaptive_aged_at": self.hotspot.adaptive_aged_at,
+                "pristine_errors": self.hotspot.pristine_errors,
+            },
+        }
+
     def render(self) -> str:
         lines = [self.campaign.render(), ""]
         lines.append(
@@ -93,6 +122,9 @@ def run(
     skip: Optional[int] = None,
     seed: int = 3,
     years: float = 0.0,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    prune: bool = True,
 ) -> FaultCoverageResult:
     ctx = context or default_context()
     n = num_patterns or ctx.patterns(PAPER_PATTERNS, floor=400)
@@ -109,7 +141,9 @@ def run(
         seed=seed,
         years=years,
     )
-    campaign_result = campaign.run()
+    campaign_result = campaign.run(
+        workers=workers, checkpoint=checkpoint, prune=prune
+    )
 
     # A localized hot-spot late on the critical path: the extra delay
     # rides on top of every pattern exercising that path, lifting the

@@ -1,8 +1,25 @@
-"""Experiment registry and runner."""
+"""Typed experiment registry and runner.
+
+Every experiment is registered as an :class:`ExperimentSpec` -- a typed
+record (id, title, runner, default overrides, tags) instead of a bare
+``Dict[str, Callable]``.  The spec normalizes the historical
+``run`` / ``run_fig13`` / ``run_table1`` naming split behind one
+surface: callers always go through :func:`run_experiment` (or
+``spec.run``), and :func:`list_experiments` filters by tag.
+
+Override names are validated against the runner's signature *before*
+the run starts, so a typo like ``num_pattern=500`` raises
+:class:`~repro.errors.ConfigError` immediately (with a did-you-mean
+suggestion) instead of failing minutes into a sweep -- same for unknown
+experiment ids.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import dataclasses
+import difflib
+import inspect
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
 from .context import ExperimentContext, default_context
@@ -26,48 +43,205 @@ from . import (
     tables_one_cycle_ratio,
 )
 
-#: Experiment id -> runner(context, **kw).  Ids match DESIGN.md section 4.
-REGISTRY: Dict[str, Callable] = {
-    "fig05": fig05_delay_distribution.run,
-    "fig06": fig06_zeros_vs_delay.run,
-    "fig07": fig07_aging_trend.run,
-    "fig09_10": fig09_10_zero_distribution.run,
-    "tab1": tables_one_cycle_ratio.run_table1,
-    "tab2": tables_one_cycle_ratio.run_table2,
-    "fig13": fig13_14_latency_sweep.run_fig13,
-    "fig14": fig13_14_latency_sweep.run_fig14,
-    "fig15": fig15_18_skip_comparison.run_fig15,
-    "fig16": fig15_18_skip_comparison.run_fig16,
-    "fig17": fig15_18_skip_comparison.run_fig17,
-    "fig18": fig15_18_skip_comparison.run_fig18,
-    "fig19": fig19_22_adaptive_errors.run_fig19,
-    "fig20": fig19_22_adaptive_errors.run_fig20,
-    "fig21": fig19_22_adaptive_errors.run_fig21,
-    "fig22": fig19_22_adaptive_errors.run_fig22,
-    "fig23": fig23_24_adaptive_latency.run_fig23,
-    "fig24": fig23_24_adaptive_latency.run_fig24,
-    "fig25": fig25_area.run,
-    "fig26": fig26_27_lifetime.run_fig26,
-    "fig27": fig26_27_lifetime.run_fig27,
-    # Extensions beyond the paper's figures (Section V discussion,
-    # related-work baselines, motivating workloads).
-    "claims": claims.run,
-    "ext_em": ext_em.run,
-    "ext_baselines": ext_baselines.run,
-    "ext_faults": ext_faults.run,
-    "ext_vladder": ext_vladder.run,
-    "ext_workloads": ext_workloads.run,
+#: Tags with registry-wide meaning: ``paper`` experiments reproduce a
+#: figure/table of the source paper, ``extension`` ones go beyond it.
+KNOWN_TAGS = ("paper", "extension", "faults", "aging", "workloads")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment.
+
+    Attributes:
+        id: Registry key (matches DESIGN.md section 4).
+        title: One-line human description (shown by the CLI listing).
+        runner: ``runner(context, **overrides) -> result``; the result
+            object exposes ``render()`` (and usually the
+            ``summary()``/``to_dict()`` protocol of
+            :mod:`repro.analysis.serialize`).
+        defaults: Overrides applied under the caller's (callers win).
+        tags: Free-form labels; ``paper`` / ``extension`` at minimum.
+    """
+
+    id: str
+    title: str
+    runner: Callable
+    defaults: Mapping = dataclasses.field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.id:
+            raise ConfigError("experiment id must be non-empty")
+        if not callable(self.runner):
+            raise ConfigError(
+                "experiment %r runner must be callable" % self.id
+            )
+
+    def parameters(self) -> Dict[str, inspect.Parameter]:
+        """The runner's override parameters (the context arg excluded)."""
+        params = dict(inspect.signature(self.runner).parameters)
+        params.pop("context", None)
+        return params
+
+    def accepts_any_keyword(self) -> bool:
+        return any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in self.parameters().values()
+        )
+
+    def validate_overrides(self, overrides: Mapping) -> None:
+        """Reject override names the runner does not accept.
+
+        Without this, a misspelled override either exploded deep inside
+        the runner (late ``TypeError``) or -- for runners taking
+        ``**kwargs`` -- was silently swallowed.
+        """
+        if self.accepts_any_keyword():
+            return
+        params = self.parameters()
+        known = {
+            name
+            for name, p in params.items()
+            if p.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        }
+        for name in overrides:
+            if name not in known:
+                raise ConfigError(
+                    "experiment %r does not accept override %r%s "
+                    "(accepted: %s)"
+                    % (
+                        self.id,
+                        name,
+                        _suggestion(name, known),
+                        ", ".join(sorted(known)) or "none",
+                    )
+                )
+
+    def run(
+        self,
+        context: Optional[ExperimentContext] = None,
+        **overrides,
+    ):
+        """Validate ``overrides``, merge :attr:`defaults` under them,
+        and invoke the runner."""
+        merged = dict(self.defaults)
+        merged.update(overrides)
+        self.validate_overrides(merged)
+        return self.runner(context or default_context(), **merged)
+
+
+def _suggestion(name: str, known) -> str:
+    close = difflib.get_close_matches(name, sorted(known), n=1)
+    return " -- did you mean %r?" % close[0] if close else ""
+
+
+def _spec(
+    id: str,
+    title: str,
+    runner: Callable,
+    tags: Sequence[str],
+    **defaults,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        id=id,
+        title=title,
+        runner=runner,
+        defaults=defaults,
+        tags=tuple(tags),
+    )
+
+
+#: Experiment id -> :class:`ExperimentSpec`.  Ids match DESIGN.md
+#: section 4; iterate with :func:`list_experiments`.
+REGISTRY: Dict[str, ExperimentSpec] = {
+    spec.id: spec
+    for spec in (
+        _spec("fig05", "Per-pattern delay distributions (Fig. 5)",
+              fig05_delay_distribution.run, ("paper",)),
+        _spec("fig06", "Zero count vs mean delay (Fig. 6)",
+              fig06_zeros_vs_delay.run, ("paper",)),
+        _spec("fig07", "BTI aging trend of the critical path (Fig. 7)",
+              fig07_aging_trend.run, ("paper", "aging")),
+        _spec("fig09_10", "Operand zero-count distributions (Figs. 9-10)",
+              fig09_10_zero_distribution.run, ("paper",)),
+        _spec("tab1", "One-cycle ratios, 16x16 (Table I)",
+              tables_one_cycle_ratio.run_table1, ("paper",)),
+        _spec("tab2", "One-cycle ratios, 32x32 (Table II)",
+              tables_one_cycle_ratio.run_table2, ("paper",)),
+        _spec("fig13", "Latency vs cycle period, 16x16 (Fig. 13)",
+              fig13_14_latency_sweep.run_fig13, ("paper",)),
+        _spec("fig14", "Latency vs cycle period, 32x32 (Fig. 14)",
+              fig13_14_latency_sweep.run_fig14, ("paper",)),
+        _spec("fig15", "Skip comparison: 16x16 latency (Fig. 15)",
+              fig15_18_skip_comparison.run_fig15, ("paper",)),
+        _spec("fig16", "Skip comparison: 16x16 errors (Fig. 16)",
+              fig15_18_skip_comparison.run_fig16, ("paper",)),
+        _spec("fig17", "Skip comparison: 32x32 latency (Fig. 17)",
+              fig15_18_skip_comparison.run_fig17, ("paper",)),
+        _spec("fig18", "Skip comparison: 32x32 errors (Fig. 18)",
+              fig15_18_skip_comparison.run_fig18, ("paper",)),
+        _spec("fig19", "Adaptive vs traditional errors, 16 CB (Fig. 19)",
+              fig19_22_adaptive_errors.run_fig19, ("paper", "aging")),
+        _spec("fig20", "Adaptive vs traditional errors, 16 RB (Fig. 20)",
+              fig19_22_adaptive_errors.run_fig20, ("paper", "aging")),
+        _spec("fig21", "Adaptive vs traditional errors, 32 CB (Fig. 21)",
+              fig19_22_adaptive_errors.run_fig21, ("paper", "aging")),
+        _spec("fig22", "Adaptive vs traditional errors, 32 RB (Fig. 22)",
+              fig19_22_adaptive_errors.run_fig22, ("paper", "aging")),
+        _spec("fig23", "Adaptive vs traditional latency, 16x16 (Fig. 23)",
+              fig23_24_adaptive_latency.run_fig23, ("paper", "aging")),
+        _spec("fig24", "Adaptive vs traditional latency, 32x32 (Fig. 24)",
+              fig23_24_adaptive_latency.run_fig24, ("paper", "aging")),
+        _spec("fig25", "Area accounting (Fig. 25)",
+              fig25_area.run, ("paper",)),
+        _spec("fig26", "Lifetime latency under aging (Fig. 26)",
+              fig26_27_lifetime.run_fig26, ("paper", "aging")),
+        _spec("fig27", "Lifetime power under aging (Fig. 27)",
+              fig26_27_lifetime.run_fig27, ("paper", "aging")),
+        _spec("claims", "Headline-claim checklist over all figures",
+              claims.run, ("paper",)),
+        # Extensions beyond the paper's figures (Section V discussion,
+        # related-work baselines, motivating workloads).
+        _spec("ext_em", "Electromigration-aware aging",
+              ext_em.run, ("extension", "aging")),
+        _spec("ext_baselines", "Wallace/Dadda/Booth baselines",
+              ext_baselines.run, ("extension",)),
+        _spec("ext_faults", "Fault-injection coverage + recovery",
+              ext_faults.run, ("extension", "faults")),
+        _spec("ext_vladder", "Aging-aware variable-latency adder",
+              ext_vladder.run, ("extension",)),
+        _spec("ext_workloads", "DSP / Markov workload study",
+              ext_workloads.run, ("extension", "workloads")),
+    )
 }
 
 
-def get_experiment(name: str) -> Callable:
-    """Look up an experiment runner by id."""
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up an :class:`ExperimentSpec` by id.
+
+    Unknown ids raise :class:`~repro.errors.ConfigError` with a
+    nearest-name suggestion (``ext_fault`` -> "did you mean
+    'ext_faults'?").
+    """
     try:
         return REGISTRY[name]
     except KeyError:
         raise ConfigError(
-            "unknown experiment %r (known: %s)" % (name, sorted(REGISTRY))
+            "unknown experiment %r%s (known: %s)"
+            % (name, _suggestion(str(name), REGISTRY), sorted(REGISTRY))
         ) from None
+
+
+def list_experiments(tag: Optional[str] = None) -> List[ExperimentSpec]:
+    """All registered specs (id order), optionally filtered by tag."""
+    specs = [REGISTRY[name] for name in sorted(REGISTRY)]
+    if tag is None:
+        return specs
+    return [spec for spec in specs if tag in spec.tags]
 
 
 def run_experiment(
@@ -75,6 +249,10 @@ def run_experiment(
     context: Optional[ExperimentContext] = None,
     **overrides,
 ):
-    """Run one experiment and return its result object."""
-    runner = get_experiment(name)
-    return runner(context or default_context(), **overrides)
+    """Run one experiment and return its result object.
+
+    ``overrides`` are validated against the runner's signature before
+    anything executes; unknown names raise
+    :class:`~repro.errors.ConfigError`.
+    """
+    return get_experiment(name).run(context, **overrides)

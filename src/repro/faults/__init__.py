@@ -18,9 +18,22 @@ Quickstart::
     result = InjectionCampaign.sweep(arch, num_sites=50,
                                      num_patterns=2000).run()
     print(result.render())
+
+Campaigns are restartable, partitionable jobs: ``run(workers=4,
+checkpoint="campaign.jsonl")`` shards the site list over a process pool
+(bit-identical to the serial sweep), persists every
+:class:`SiteReport` as it completes, resumes from the checkpoint after
+a kill, and prunes sites whose logic cone cannot reach an observed
+product bit.  ``python -m repro.faults run --help`` exposes the same
+machinery from the command line.
 """
 
-from .campaign import CampaignResult, InjectionCampaign, SiteReport
+from .campaign import (
+    CampaignResult,
+    InjectionCampaign,
+    SiteReport,
+    unique_site_ids,
+)
 from .injector import (
     SITE_KINDS,
     build_fault_hooks,
@@ -34,9 +47,12 @@ from .models import (
     StuckAtFault,
     TransientBitFlip,
 )
+from .parallel import make_batches, run_sharded
+from .store import CheckpointStore
 
 __all__ = [
     "CampaignResult",
+    "CheckpointStore",
     "DelayFault",
     "FaultModel",
     "InjectionCampaign",
@@ -48,4 +64,7 @@ __all__ = [
     "compile_with_faults",
     "enumerate_fault_sites",
     "fault_delay_scale",
+    "make_batches",
+    "run_sharded",
+    "unique_site_ids",
 ]

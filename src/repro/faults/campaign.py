@@ -14,21 +14,53 @@ even sites that push arrivals past the shadow window complete and are
 reported.  A campaign with zero faults is bit-identical to the pristine
 baseline run -- property-tested, and the sanity anchor for every
 coverage number produced here.
+
+Campaign execution (this layer's production contract):
+
+* **Stable site ids** -- every fault has a canonical
+  :meth:`~repro.faults.models.FaultModel.site_id` derived purely from
+  its parameters, so a site means the same thing across processes and
+  interpreter runs (duplicates are suffixed ``#k`` in campaign order).
+* **Checkpointing** -- ``run(checkpoint=path)`` persists each
+  :class:`SiteReport` to a JSONL :class:`~repro.faults.store
+  .CheckpointStore` as it completes; ``resume=True`` (the default)
+  skips sites already recorded for the same campaign fingerprint.
+* **Sharding** -- ``run(workers=N)`` fans the pending sites out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`
+  (:mod:`repro.faults.parallel`).  All randomness (operand streams,
+  SEU flips) is either drawn up-front in the parent or a stateless
+  counter hash, so the sharded sweep is bit-identical to the serial
+  one regardless of worker count or chunk boundaries.
+* **Graceful interruption** -- a SIGINT / :class:`KeyboardInterrupt`
+  mid-sweep flushes the checkpoint and raises
+  :class:`~repro.errors.CampaignInterrupted` carrying the partial
+  :class:`CampaignResult`, so partial coverage is still reportable and
+  the next ``run`` resumes where the sweep stopped.
+* **Logic-cone pruning** -- ``prune=True`` (default) skips simulating
+  sites whose forward cone cannot reach any observed product bit
+  (:meth:`~repro.timing.engine.CompiledCircuit.output_reach_mask`);
+  such sites provably reproduce the baseline run, so their reports are
+  synthesized exactly (property-tested) at zero simulation cost.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..arith.reference import golden_products
 from ..core.architecture import AgingAwareMultiplier
 from ..core.stats import ArchitectureRunResult
-from ..errors import FaultError
+from ..errors import CampaignInterrupted, FaultError
 from .injector import compile_with_faults, enumerate_fault_sites
 from .models import FaultModel
+
+#: Progress callback: ``(site_report, completed, total)``, invoked after
+#: every finished site (resumed and pruned sites included).
+ProgressFn = Callable[["SiteReport", int, int], None]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,6 +81,9 @@ class SiteReport:
         avg_latency_ns: Mean latency under the fault.
         indicator_aged_at: Operation index where the AHL switched to
             Skip-(n+1) under this fault (-1: never).
+        site_id: Canonical fault site id (checkpoint key).
+        pruned: True when the report was synthesized by logic-cone
+            pruning instead of simulated (bit-exact either way).
     """
 
     label: str
@@ -62,6 +97,8 @@ class SiteReport:
     exhausted_ops: int
     avg_latency_ns: float
     indicator_aged_at: int
+    site_id: str = ""
+    pruned: bool = False
 
     @property
     def detection_fraction(self) -> float:
@@ -70,6 +107,34 @@ class SiteReport:
         if self.corrupted_ops == 0:
             return 1.0
         return self.detected_ops / self.corrupted_ops
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "site_id": self.site_id,
+            "kind": self.kind,
+            "corrupted_ops": self.corrupted_ops,
+            "detected_ops": self.detected_ops,
+            "silent_ops": self.silent_ops,
+            "detection_fraction": self.detection_fraction,
+            "avg_latency_ns": self.avg_latency_ns,
+        }
+
+    def to_dict(self) -> Dict:
+        """JSON-ready dict -- the checkpoint store's line payload."""
+        data = dataclasses.asdict(self)
+        data["detection_fraction"] = self.detection_fraction
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SiteReport":
+        """Inverse of :meth:`to_dict` (ignores derived/unknown keys)."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        try:
+            return cls(**{k: v for k, v in data.items() if k in fields})
+        except TypeError as exc:
+            raise FaultError(
+                "malformed site report payload: %s" % (exc,)
+            ) from None
 
 
 @dataclasses.dataclass
@@ -81,10 +146,30 @@ class CampaignResult:
     years: float
     baseline: ArchitectureRunResult
     sites: List[SiteReport]
+    #: Sites whose report was synthesized by logic-cone pruning (their
+    #: ``SiteReport.pruned`` flag is set, surviving checkpoint resume).
+    pruned_sites: int = 0
+    #: Sites restored from a checkpoint instead of re-simulated.
+    resumed_sites: int = 0
+    #: Sites actually simulated during this sweep (neither pruned nor
+    #: restored from the checkpoint).
+    simulated_sites: int = 0
+    #: Sites the campaign was asked to run (== len(sites) unless the
+    #: sweep was interrupted and this is a partial result).
+    requested_sites: int = -1
+
+    def __post_init__(self):
+        if self.requested_sites < 0:
+            self.requested_sites = len(self.sites)
 
     @property
     def num_sites(self) -> int:
         return len(self.sites)
+
+    @property
+    def complete(self) -> bool:
+        """False for the partial result of an interrupted sweep."""
+        return self.num_sites == self.requested_sites
 
     @property
     def corrupting_sites(self) -> int:
@@ -117,6 +202,33 @@ class CampaignResult:
             kinds.setdefault(site.kind, []).append(site)
         return kinds
 
+    # -- uniform serialization protocol (analysis.serialize) -----------
+
+    def summary(self) -> Dict:
+        """Flat scalar summary -- what the benchmark JSON records."""
+        return {
+            "design": self.design,
+            "num_patterns": self.num_patterns,
+            "years": self.years,
+            "policy": self.baseline.report.policy,
+            "baseline_latency_ns": self.baseline.report.average_latency_ns,
+            "sites_total": self.num_sites,
+            "sites_requested": self.requested_sites,
+            "sites_corrupting": self.corrupting_sites,
+            "sites_pruned": self.pruned_sites,
+            "sites_resumed": self.resumed_sites,
+            "sites_simulated": self.simulated_sites,
+            "complete": self.complete,
+            "detection_coverage": self.detection_coverage(),
+            "silent_corruption_rate": self.silent_corruption_rate(),
+        }
+
+    def to_dict(self) -> Dict:
+        data = self.summary()
+        data["baseline"] = self.baseline.to_dict()
+        data["sites"] = [site.to_dict() for site in self.sites]
+        return data
+
     def render(self) -> str:
         from ..analysis.tables import format_table
 
@@ -134,15 +246,23 @@ class CampaignResult:
                     sum(s.exhausted_ops for s in sites),
                 ]
             )
+        info = self.summary()
         header = (
-            "%s: %d sites x %d patterns (baseline %.4g ns/op, policy %s)"
+            "%s: %d/%d sites x %d patterns (baseline %.4g ns/op, policy %s)"
             % (
-                self.design,
-                self.num_sites,
-                self.num_patterns,
-                self.baseline.report.average_latency_ns,
-                self.baseline.report.policy,
+                info["design"],
+                info["sites_total"],
+                info["sites_requested"],
+                info["num_patterns"],
+                info["baseline_latency_ns"],
+                info["policy"],
             )
+        )
+        extras = "pruned %d, resumed %d, simulated %d%s" % (
+            info["sites_pruned"],
+            info["sites_resumed"],
+            info["sites_simulated"],
+            "" if info["complete"] else "  [PARTIAL -- interrupted]",
         )
         table = format_table(
             [
@@ -156,7 +276,25 @@ class CampaignResult:
             ],
             rows,
         )
-        return header + "\n" + table
+        return header + "\n" + extras + "\n" + table
+
+
+def unique_site_ids(faults: Sequence[FaultModel]) -> List[str]:
+    """Canonical site ids in campaign order, de-duplicated with ``#k``.
+
+    Ids come from :meth:`FaultModel.site_id` -- pure functions of the
+    fault parameters -- so the mapping is stable across processes; a
+    fault listed twice gets ``...#1``, ``...#2`` suffixes, keeping ids
+    unique within one campaign while staying deterministic.
+    """
+    counts: Dict[str, int] = {}
+    ids: List[str] = []
+    for fault in faults:
+        base = fault.site_id()
+        seen = counts.get(base, 0)
+        counts[base] = seen + 1
+        ids.append(base if seen == 0 else "%s#%d" % (base, seen))
+    return ids
 
 
 class InjectionCampaign:
@@ -189,6 +327,7 @@ class InjectionCampaign:
             fault.validate(architecture.netlist)
         self.architecture = architecture
         self.faults = list(faults)
+        self.site_ids = unique_site_ids(self.faults)
         self.num_patterns = num_patterns
         self.seed = seed
         self.years = years
@@ -202,6 +341,7 @@ class InjectionCampaign:
         self._base_scale = (
             architecture.factory.delay_scale(years) if years else None
         )
+        self._pristine = None
 
     @classmethod
     def sweep(
@@ -234,21 +374,51 @@ class InjectionCampaign:
 
     # ------------------------------------------------------------------
 
+    def fingerprint(self) -> Dict:
+        """Stable identity of this campaign's configuration.
+
+        The checkpoint store refuses to resume from a file written by a
+        different campaign (different design, workload, seed, aging
+        point or site list) -- mixing reports across configurations
+        would silently corrupt coverage numbers.
+        """
+        digest = hashlib.sha256(
+            "|".join(self.site_ids).encode("utf-8")
+        ).hexdigest()[:16]
+        return {
+            "design": self.architecture.name,
+            "width": self.architecture.width,
+            "cycle_ns": self.architecture.cycle_ns,
+            "policy": self.architecture.config.recovery_policy,
+            "num_patterns": self.num_patterns,
+            "seed": self.seed,
+            "years": self.years,
+            "num_sites": len(self.faults),
+            "sites_digest": digest,
+        }
+
+    def _pristine_circuit(self):
+        """The compiled fault-free circuit (cached; also serves the
+        logic-cone reachability masks)."""
+        if self._pristine is None:
+            self._pristine = compile_with_faults(
+                self.architecture.netlist,
+                [],
+                self.architecture.technology,
+                delay_scale=self._base_scale,
+            )
+        return self._pristine
+
     def run_pristine(self) -> ArchitectureRunResult:
         """The fault-free reference run on the campaign workload."""
-        circuit = compile_with_faults(
-            self.architecture.netlist,
-            [],
-            self.architecture.technology,
-            delay_scale=self._base_scale,
-        )
+        circuit = self._pristine_circuit()
         stream = circuit.run({"md": self.md, "mr": self.mr})
         return self.architecture.run_patterns(
             self.md, self.mr, years=self.years, stream=stream
         )
 
     def run_site(
-        self, fault: FaultModel
+        self, fault: FaultModel, site_id: str = ""
     ) -> Tuple[SiteReport, ArchitectureRunResult]:
         """Inject one fault and execute the full control loop."""
         arch = self.architecture
@@ -277,17 +447,216 @@ class InjectionCampaign:
             exhausted_ops=report.recovery_exhausted_ops,
             avg_latency_ns=report.average_latency_ns,
             indicator_aged_at=report.indicator_aged_at,
+            site_id=site_id or fault.site_id(),
         )
         return site, result
 
-    def run(self) -> CampaignResult:
-        """Run every site and collect the campaign result."""
+    # ------------------------------------------------------------------
+    # Logic-cone pruning
+    # ------------------------------------------------------------------
+
+    def prunable_site_indices(
+        self, observed_ports: Optional[Sequence[str]] = None
+    ) -> List[int]:
+        """Indices of faults whose cone misses every observed output bit.
+
+        A fault at such a site cannot change any observed product value
+        *or* arrival time (value and arrival propagation both follow the
+        directed cell graph), so its run is provably identical to the
+        pristine baseline and can be synthesized instead of simulated.
+        ``observed_ports`` narrows the observation to a subset of output
+        ports (default: every product bit the workload checks).
+        """
+        circuit = self._pristine_circuit()
+        masks = circuit.output_reach_mask(observed_ports)
+        netlist = self.architecture.netlist
+        return [
+            index
+            for index, fault in enumerate(self.faults)
+            if not masks[fault.cone_root(netlist)]
+        ]
+
+    def _synthesize_pruned(
+        self, fault: FaultModel, site_id: str,
+        baseline: ArchitectureRunResult,
+    ) -> SiteReport:
+        """The exact report a pruned site would have produced.
+
+        Because the fault's cone misses every observed output bit, the
+        site's products and delays equal the baseline's, so the control
+        loop's statistics equal the baseline's and nothing was corrupted
+        (the pristine netlist computes golden products).  Property-tested
+        against full simulation in ``tests/test_campaign_exec.py``.
+        """
+        report = baseline.report
+        return SiteReport(
+            label=fault.describe(self.architecture.netlist),
+            kind=fault.kind,
+            corrupted_ops=0,
+            detected_ops=0,
+            silent_ops=0,
+            razor_errors=report.error_count,
+            undetectable_ops=report.undetectable_count,
+            recovered_ops=report.recovered_ops,
+            exhausted_ops=report.recovery_exhausted_ops,
+            avg_latency_ns=report.average_latency_ns,
+            indicator_aged_at=report.indicator_aged_at,
+            site_id=site_id,
+            pruned=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Campaign execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workers: int = 1,
+        checkpoint: Optional[str] = None,
+        resume: bool = True,
+        prune: bool = True,
+        chunk_size: Optional[int] = None,
+        progress: Optional[ProgressFn] = None,
+        observed_ports: Optional[Sequence[str]] = None,
+    ) -> CampaignResult:
+        """Run every site and collect the campaign result.
+
+        Args:
+            workers: Processes to shard the site list over (1 = serial
+                in-process execution).  Results are bit-identical to the
+                serial sweep for any worker count.
+            checkpoint: Optional JSONL path; each completed
+                :class:`SiteReport` is appended and flushed immediately,
+                so a killed sweep loses at most the in-flight sites.
+            resume: With ``checkpoint``, skip sites already recorded for
+                this campaign's :meth:`fingerprint` (False starts over).
+            prune: Skip simulating sites whose logic cone cannot reach
+                any observed product bit; their reports are synthesized
+                exactly from the baseline.
+            chunk_size: Sites per worker batch (default: an even split
+                into ~4 batches per worker).
+            progress: ``(report, completed, total)`` callback after each
+                finished site.
+            observed_ports: Output ports the workload observes (pruning
+                granularity; default all).
+
+        Raises:
+            CampaignInterrupted: A SIGINT / :class:`KeyboardInterrupt`
+                landed mid-sweep.  The checkpoint is already flushed and
+                the exception carries the partial result.
+        """
+        if workers < 1:
+            raise FaultError("workers must be >= 1, got %d" % workers)
+        total = len(self.faults)
         baseline = self.run_pristine()
-        sites = [self.run_site(fault)[0] for fault in self.faults]
-        return CampaignResult(
+
+        store = None
+        restored: Dict[str, SiteReport] = {}
+        if checkpoint is not None:
+            from .store import CheckpointStore
+
+            store = CheckpointStore(checkpoint)
+            restored = store.open(self.fingerprint(), resume=resume)
+
+        reports: List[Optional[SiteReport]] = [None] * total
+        resumed = 0
+        for index, site_id in enumerate(self.site_ids):
+            hit = restored.get(site_id)
+            if hit is not None:
+                reports[index] = hit
+                resumed += 1
+
+        pruned_indices = (
+            set(self.prunable_site_indices(observed_ports))
+            if prune
+            else set()
+        )
+
+        completed = resumed
+        interrupted = False
+        simulated_indices: List[int] = []
+
+        def record(index: int, report: SiteReport) -> None:
+            nonlocal completed
+            reports[index] = report
+            completed += 1
+            if store is not None:
+                store.append(self.site_ids[index], report)
+            if progress is not None:
+                progress(report, completed, total)
+
+        try:
+            # Pruned sites are synthesized in-process: cheaper than the
+            # cost of shipping them to a worker.
+            for index in sorted(pruned_indices):
+                if reports[index] is not None:
+                    continue
+                record(
+                    index,
+                    self._synthesize_pruned(
+                        self.faults[index],
+                        self.site_ids[index],
+                        baseline,
+                    ),
+                )
+            pending = [
+                index
+                for index in range(total)
+                if reports[index] is None
+            ]
+            simulated_indices.extend(pending)
+            if pending:
+                if workers > 1:
+                    from .parallel import run_sharded
+
+                    run_sharded(
+                        self,
+                        pending,
+                        workers=workers,
+                        chunk_size=chunk_size,
+                        on_result=record,
+                    )
+                else:
+                    for index in pending:
+                        site, _ = self.run_site(
+                            self.faults[index], self.site_ids[index]
+                        )
+                        record(index, site)
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            if store is not None:
+                store.close()
+
+        done_reports = [r for r in reports if r is not None]
+        pruned_count = sum(1 for r in done_reports if r.pruned)
+        result = CampaignResult(
             design=self.architecture.name,
             num_patterns=self.num_patterns,
             years=self.years,
             baseline=baseline,
-            sites=sites,
+            sites=done_reports,
+            pruned_sites=pruned_count,
+            resumed_sites=resumed,
+            simulated_sites=sum(
+                1 for index in simulated_indices
+                if reports[index] is not None
+            ),
+            requested_sites=total,
         )
+        if interrupted:
+            raise CampaignInterrupted(
+                "campaign interrupted after %d/%d sites%s"
+                % (
+                    len(done_reports),
+                    total,
+                    ""
+                    if checkpoint is None
+                    else " (checkpoint %s flushed; rerun with resume=True"
+                    " to continue)" % checkpoint,
+                ),
+                partial=result,
+                completed=len(done_reports),
+                total=total,
+            )
+        return result

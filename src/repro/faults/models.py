@@ -80,6 +80,27 @@ class FaultModel:
     def describe(self, netlist: Optional[Netlist] = None) -> str:
         raise NotImplementedError
 
+    def site_id(self) -> str:
+        """Canonical, process-stable identifier of this fault site.
+
+        Unlike :meth:`describe` (which uses human-readable net names)
+        the site id is derived purely from the fault's own parameters,
+        so it is identical across processes and interpreter runs -- it
+        is the key the campaign checkpoint store persists reports under.
+        """
+        raise NotImplementedError
+
+    def cone_root(self, netlist: Netlist) -> int:
+        """The net whose forward logic cone this fault can corrupt.
+
+        Value faults corrupt their target net; a delay fault can only
+        move arrivals downstream of its cell's output.  Campaigns use
+        this with :meth:`repro.timing.engine.CompiledCircuit
+        .output_reach_mask` to prune sites that cannot reach any
+        observed product bit.
+        """
+        raise NotImplementedError
+
 
 def _check_net(net: int, netlist: Optional[Netlist] = None) -> None:
     if not isinstance(net, int) or isinstance(net, bool):
@@ -133,6 +154,12 @@ class StuckAtFault(FaultModel):
         where = netlist.net_name(self.net) if netlist else "n%d" % self.net
         return "sa%d@%s" % (self.value, where)
 
+    def site_id(self) -> str:
+        return "sa%d:n%d" % (self.value, self.net)
+
+    def cone_root(self, netlist: Netlist) -> int:
+        return self.net
+
 
 @dataclasses.dataclass(frozen=True)
 class TransientBitFlip(FaultModel):
@@ -182,6 +209,12 @@ class TransientBitFlip(FaultModel):
         where = netlist.net_name(self.net) if netlist else "n%d" % self.net
         return "seu@%s rate=%g" % (where, self.rate)
 
+    def site_id(self) -> str:
+        return "seu:n%d:r%r:s%d" % (self.net, self.rate, self.seed)
+
+    def cone_root(self, netlist: Netlist) -> int:
+        return self.net
+
 
 @dataclasses.dataclass(frozen=True)
 class DelayFault(FaultModel):
@@ -228,3 +261,9 @@ class DelayFault(FaultModel):
         else:
             where = "cell%d" % self.cell
         return "delay@%s +%.3fns" % (where, self.extra_ns)
+
+    def site_id(self) -> str:
+        return "delay:c%d:e%r" % (self.cell, self.extra_ns)
+
+    def cone_root(self, netlist: Netlist) -> int:
+        return netlist.cells[self.cell].output

@@ -1,0 +1,125 @@
+"""Process-sharded execution of fault-injection campaigns.
+
+:func:`run_sharded` fans a campaign's pending site indices out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Each worker receives
+the pickled :class:`~repro.faults.campaign.InjectionCampaign` once (via
+the pool initializer) and then simulates batches of site *indices*, so
+per-site traffic is a couple of integers out and one
+:class:`~repro.faults.campaign.SiteReport` back.
+
+Determinism contract (why sharded == serial, bit for bit):
+
+* the operand stream (``md``/``mr``) is drawn **once** in the parent's
+  campaign constructor and shipped to workers inside the pickled
+  campaign -- workers never touch an RNG;
+* SEU flip decisions are a stateless counter hash of ``(fault seed,
+  net, global pattern index)`` (see :class:`~repro.faults.models
+  .TransientBitFlip`), so they are independent of which process -- or
+  which chunk -- simulates the site;
+* every site is simulated independently (single-fault campaigns share
+  no state), so completion *order* cannot influence any report, and the
+  parent reassembles results by site index.
+
+Together these make the shard boundaries pure scheduling: ``workers=8``
+and ``workers=1`` produce identical :class:`CampaignResult` s, which is
+asserted by ``tests/test_campaign_exec.py`` and the campaign benchmark.
+
+A ``KeyboardInterrupt`` in the parent cancels all queued batches,
+terminates the pool without waiting for stragglers, and re-raises so
+:meth:`InjectionCampaign.run` can flush its checkpoint and report
+partial coverage.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import FaultError
+
+#: Worker-process global: the campaign shipped by the pool initializer.
+_WORKER_CAMPAIGN = None
+
+
+def _init_worker(campaign) -> None:
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = campaign
+
+
+def _simulate_batch(indices: Sequence[int]) -> List[Tuple[int, object]]:
+    """Run a batch of site indices in the worker; returns reports."""
+    campaign = _WORKER_CAMPAIGN
+    if campaign is None:  # pragma: no cover - initializer always ran
+        raise FaultError("worker has no campaign (initializer not run)")
+    out = []
+    for index in indices:
+        report, _ = campaign.run_site(
+            campaign.faults[index], campaign.site_ids[index]
+        )
+        out.append((index, report))
+    return out
+
+
+def make_batches(
+    pending: Sequence[int], workers: int, chunk_size: Optional[int] = None
+) -> List[List[int]]:
+    """Split pending site indices into per-worker batches.
+
+    Defaults to ~4 batches per worker so a slow site (one fault can cost
+    many recovery cycles) does not straggle the whole shard, while a
+    batch still amortizes the submit/pickle overhead over several sites.
+    """
+    if not pending:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(pending) // (workers * 4)))
+    if chunk_size < 1:
+        raise FaultError("chunk_size must be >= 1, got %d" % chunk_size)
+    return [
+        list(pending[start:start + chunk_size])
+        for start in range(0, len(pending), chunk_size)
+    ]
+
+
+def run_sharded(
+    campaign,
+    pending: Sequence[int],
+    workers: int,
+    chunk_size: Optional[int] = None,
+    on_result: Optional[Callable[[int, object], None]] = None,
+) -> List[Tuple[int, object]]:
+    """Simulate ``pending`` site indices across ``workers`` processes.
+
+    ``on_result(index, report)`` fires in the parent as each site
+    completes (checkpoint appends hook in here); the full index->report
+    list is also returned.  Batches complete out of order; callers index
+    reports by site, never by arrival.
+    """
+    if workers < 2:
+        raise FaultError(
+            "run_sharded needs workers >= 2 (use InjectionCampaign.run "
+            "for serial execution)"
+        )
+    batches = make_batches(pending, workers, chunk_size)
+    results: List[Tuple[int, object]] = []
+    executor = ProcessPoolExecutor(
+        max_workers=min(workers, max(1, len(batches))),
+        initializer=_init_worker,
+        initargs=(campaign,),
+    )
+    try:
+        futures = {executor.submit(_simulate_batch, b) for b in batches}
+        while futures:
+            done, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                for index, report in future.result():
+                    results.append((index, report))
+                    if on_result is not None:
+                        on_result(index, report)
+    finally:
+        # On KeyboardInterrupt (or any error) every still-queued batch
+        # is cancelled; in-flight batches finish and are discarded.  The
+        # campaign layer then flushes its checkpoint with what already
+        # completed and reports partial coverage.
+        executor.shutdown(wait=True, cancel_futures=True)
+    return results

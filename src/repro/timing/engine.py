@@ -196,6 +196,79 @@ class CompiledCircuit:
 
         self.num_nets = netlist.num_nets
 
+    # ------------------------------------------------------------------
+    # Logic-cone reachability
+    # ------------------------------------------------------------------
+
+    def output_bit_labels(
+        self, ports: Optional[Sequence[str]] = None
+    ) -> "List[tuple]":
+        """``(port name, bit index)`` labels, one per observed output bit.
+
+        Bit ``k`` of the masks returned by :meth:`output_reach_mask`
+        corresponds to entry ``k`` of this list.  ``ports`` restricts the
+        observation to a subset of output ports (default: all of them).
+        """
+        if ports is None:
+            names = list(self.netlist.output_ports)
+        else:
+            names = list(ports)
+            for name in names:
+                if name not in self.netlist.output_ports:
+                    raise SimulationError(
+                        "unknown output port %r (have: %s)"
+                        % (name, sorted(self.netlist.output_ports))
+                    )
+        labels = []
+        for name in names:
+            port = self.netlist.output_ports[name]
+            labels.extend((name, bit) for bit in range(port.width))
+        return labels
+
+    def output_reach_mask(
+        self, ports: Optional[Sequence[str]] = None
+    ) -> List[int]:
+        """Per-net bitmask of the observed output bits its cone reaches.
+
+        Entry ``net`` is an arbitrary-precision integer whose bit ``k``
+        is set iff a directed path of cells leads from ``net`` to output
+        bit ``k`` of :meth:`output_bit_labels` (a net that *is* an
+        output bit reaches itself).  Computed by one reverse-topological
+        sweep and cached for the default (all-ports) observation.
+
+        A fault site whose mask is 0 cannot corrupt any observed product
+        bit -- neither its value nor its arrival time propagates to an
+        output -- which is the exact condition campaign logic-cone
+        pruning relies on.
+        """
+        cache_ok = ports is None
+        if cache_ok and getattr(self, "_reach_masks", None) is not None:
+            return self._reach_masks
+        masks = [0] * self.num_nets
+        for bit, (name, index) in enumerate(self.output_bit_labels(ports)):
+            masks[self.netlist.output_ports[name].nets[index]] |= 1 << bit
+        # Reverse-topological sweep: a cell's inputs reach everything its
+        # output reaches.
+        for compiled in reversed(self._cells):
+            mask = masks[compiled.output]
+            if mask:
+                for net in compiled.inputs:
+                    masks[net] |= mask
+        if cache_ok:
+            self._reach_masks = masks
+        return masks
+
+    def reaches_outputs(
+        self, net: int, ports: Optional[Sequence[str]] = None
+    ) -> bool:
+        """Whether ``net``'s forward cone touches any observed output bit."""
+        if not 0 <= net < self.num_nets:
+            raise SimulationError(
+                "net %d out of range (circuit has %d nets)"
+                % (net, self.num_nets)
+            )
+        return bool(self.output_reach_mask(ports)[net])
+
     def with_delay_scale(self, delay_scale: np.ndarray) -> "CompiledCircuit":
         """Recompile with new per-cell delay factors (e.g. another year)."""
         return CompiledCircuit(

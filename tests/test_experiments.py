@@ -8,7 +8,13 @@ checks EXPERIMENTS.md documents quantitatively at full scale.
 import pytest
 
 from repro.errors import ConfigError
-from repro.experiments import REGISTRY, get_experiment, run_experiment
+from repro.experiments import (
+    REGISTRY,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
 from repro.experiments import (
     fig05_delay_distribution,
     fig06_zeros_vs_delay,
@@ -39,6 +45,57 @@ class TestRegistry:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ConfigError):
             get_experiment("fig99")
+
+    def test_unknown_experiment_suggests_nearest(self):
+        with pytest.raises(ConfigError, match="did you mean 'ext_faults'"):
+            get_experiment("ext_fault")
+
+    def test_spec_round_trip_all_ids(self):
+        """Every registry entry is a coherent ExperimentSpec: the key is
+        the id, the runner is callable, the title is set, every tag is
+        known, and the declared defaults pass the spec's own override
+        validation."""
+        from repro.experiments.registry import KNOWN_TAGS
+
+        for name, spec in REGISTRY.items():
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.id == name
+            assert get_experiment(name) is spec
+            assert callable(spec.runner)
+            assert spec.title
+            assert spec.tags
+            assert set(spec.tags) <= set(KNOWN_TAGS)
+            assert ("paper" in spec.tags) != ("extension" in spec.tags)
+            spec.validate_overrides(spec.defaults)
+
+    def test_list_experiments_sorted_and_filtered(self):
+        everything = list_experiments()
+        assert [s.id for s in everything] == sorted(REGISTRY)
+        extensions = {s.id for s in list_experiments(tag="extension")}
+        assert extensions == {
+            "ext_em", "ext_baselines", "ext_faults", "ext_workloads",
+            "ext_vladder",
+        }
+        papers = {s.id for s in list_experiments(tag="paper")}
+        assert papers | extensions == set(REGISTRY)
+        assert not papers & extensions
+
+    def test_unknown_override_rejected_with_suggestion(self):
+        with pytest.raises(ConfigError, match="did you mean 'num_sites'"):
+            run_experiment("ext_faults", num_site=5)
+
+    def test_spec_validation_guards_construction(self):
+        with pytest.raises(ConfigError):
+            ExperimentSpec(id="", title="t", runner=lambda c: None)
+        with pytest.raises(ConfigError):
+            ExperimentSpec(id="x", title="t", runner="not-callable")
+
+    def test_kwargs_runner_passes_overrides_through(self):
+        # Wrapper runners (**kw) cannot be signature-validated; the
+        # spec must not reject their overrides up front.
+        spec = get_experiment("fig13")
+        assert spec.accepts_any_keyword()
+        spec.validate_overrides({"anything": 1})
 
 
 class TestFig05(object):
