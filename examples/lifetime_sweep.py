@@ -1,0 +1,90 @@
+"""A dense 7-year lifetime sweep on the two-plane stream engine.
+
+Sweeps the 8x8 A-VLCB across 20 aging timesteps.  The value plane
+(logic values, switching activity, may-transition flags) is computed
+once -- it is delay-independent -- and a single batched arrival replay
+then prices all 20 BTI delay corners, instead of 20 full simulations.
+The script prints the value-pass vs replay wall-clock split alongside
+the per-year latency/error trend.
+
+Run:  python examples/lifetime_sweep.py
+"""
+
+import time
+
+from repro import AgingAwareMultiplier
+from repro.analysis import format_table
+from repro.timing import ArrivalReplay
+from repro.workloads import uniform_operands
+
+LIFETIME_YEARS = 7.0
+TIMESTEPS = 20
+PATTERNS = 10_000
+
+
+def main():
+    print("Building the 8x8 A-VLCB...")
+    arch = AgingAwareMultiplier.build(8, "column", skip=3, cycle_ns=0.9)
+    arch = arch.with_cycle(0.62 * arch.critical_path_ns())
+    md, mr = uniform_operands(8, PATTERNS, seed=17)
+    years = [
+        LIFETIME_YEARS * i / (TIMESTEPS - 1) for i in range(TIMESTEPS)
+    ]
+
+    # The two planes, timed separately.  (run_lifetime below would do
+    # this internally; it is unrolled here to show the split.)
+    start = time.time()
+    plane = arch.factory.value_plane({"md": md, "mr": mr})
+    value_s = time.time() - start
+
+    scales = arch.factory.lifetime_delay_scales(years)
+    start = time.time()
+    replayed = ArrivalReplay(arch.factory.circuit(0.0), plane).replay(
+        scales
+    )
+    replay_s = time.time() - start
+
+    # One classic single-pass simulation, for scale.
+    start = time.time()
+    arch.factory.circuit(years[-1]).run({"md": md, "mr": mr})
+    full_s = time.time() - start
+
+    print(
+        "value pass %.3f s (once) + arrival replay %.3f s "
+        "(%d timesteps) for %d patterns"
+        % (value_s, replay_s, TIMESTEPS, PATTERNS)
+    )
+    print(
+        "  -> %.1f ms per aging corner replayed vs %.0f ms for a full "
+        "simulation per corner (%.1fx end-to-end)"
+        % (
+            1e3 * replay_s / TIMESTEPS,
+            1e3 * full_s,
+            TIMESTEPS * full_s / (value_s + replay_s),
+        )
+    )
+
+    rows = []
+    for year, stream in zip(years, replayed.stream_results()):
+        report = arch.run_patterns(
+            md, mr, years=year, stream=stream
+        ).report
+        rows.append(
+            [
+                round(year, 2),
+                round(stream.max_delay, 4),
+                round(report.average_latency_ns, 4),
+                report.error_count,
+                "yes" if report.indicator_aged_at >= 0 else "no",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["years", "crit ns", "avg lat ns", "errors", "aged?"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,14 +17,16 @@ distributions behind Figs. 7 and 19-27.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..config import DEFAULT_TECHNOLOGY, Technology
 from ..errors import SimulationError
 from ..nets.netlist import Netlist
-from ..timing.engine import CompiledCircuit
+from ..timing.engine import CompiledCircuit, StreamResult
+from ..timing.replay import ArrivalReplay
+from ..timing.value_cache import ValuePlaneCache
 from .bti import BTIModel
 from .stress import StressProfile, extract_stress
 
@@ -95,6 +97,7 @@ class AgedCircuitFactory:
     def __post_init__(self):
         self._cache: Dict[float, CompiledCircuit] = {}
         self._model = BTIModel(self.technology)
+        self._planes = ValuePlaneCache()
 
     @classmethod
     def characterize(
@@ -138,6 +141,70 @@ class AgedCircuitFactory:
                     self.netlist, self.technology, self.delay_scale(years)
                 )
         return self._cache[key]
+
+    def lifetime_delay_scales(self, years: "Sequence[float]") -> np.ndarray:
+        """Stacked ``(k, num_cells)`` delay-scale matrix, one row per
+        timestep (year 0 is exactly all-ones, like ``circuit(0)``)."""
+        num_cells = len(self.netlist.cells)
+        rows = [
+            np.ones(num_cells) if year == 0 else self.delay_scale(year)
+            for year in years
+        ]
+        return np.vstack(rows) if rows else np.empty((0, num_cells))
+
+    def value_plane(
+        self,
+        stimulus: Dict[str, np.ndarray],
+        collect_net_stats: bool = False,
+    ):
+        """The (cached) delay-independent value plane of ``stimulus``
+        through the fresh circuit -- valid at *every* aging timestep."""
+        return self._planes.get_or_build(
+            self.circuit(0.0),
+            stimulus,
+            collect_net_stats=collect_net_stats,
+        )
+
+    def stream_results(
+        self,
+        years: "Sequence[float]",
+        stimulus: Dict[str, np.ndarray],
+        collect_bit_arrivals: bool = False,
+        collect_net_stats: bool = False,
+    ) -> "List[StreamResult]":
+        """Stream results for many aging timesteps via one value pass.
+
+        Bit-identical to ``[self.circuit(y).run(stimulus, ...) for y in
+        years]`` but the levelized value loop runs once and the aged
+        corners are batch-replayed (see :mod:`repro.timing.replay`).
+        """
+        years = list(years)
+        if not years:
+            return []
+        plane = self.value_plane(
+            stimulus, collect_net_stats=collect_net_stats
+        )
+        replayer = ArrivalReplay(self.circuit(0.0), plane)
+        result = replayer.replay(
+            self.lifetime_delay_scales(years),
+            collect_bit_arrivals=collect_bit_arrivals,
+        )
+        return result.stream_results()
+
+    def stream_result(
+        self,
+        years: float,
+        stimulus: Dict[str, np.ndarray],
+        collect_bit_arrivals: bool = False,
+        collect_net_stats: bool = False,
+    ) -> StreamResult:
+        """One aged stream result through the replay fast path."""
+        return self.stream_results(
+            [years],
+            stimulus,
+            collect_bit_arrivals=collect_bit_arrivals,
+            collect_net_stats=collect_net_stats,
+        )[0]
 
     def mean_delta_vth(self, years: float) -> float:
         """Workload-average threshold drift (volts), for leakage scaling."""

@@ -50,7 +50,7 @@ plain re-execution.  What happens next is governed by a
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -400,8 +400,10 @@ class AgingAwareMultiplier:
             raise SimulationError("md and mr must be equal-length 1-D arrays")
 
         if stream is None:
-            circuit = self.factory.circuit(years)
-            stream = circuit.run({"md": md, "mr": mr})
+            # Replay fast path: the factory's cached value plane is
+            # re-timed for this age instead of re-simulating values
+            # (bit-identical to circuit(years).run(...)).
+            stream = self.factory.stream_result(years, {"md": md, "mr": mr})
         elif stream.num_patterns != md.size:
             raise SimulationError(
                 "precomputed stream has %d patterns, operands have %d"
@@ -499,6 +501,39 @@ class AgingAwareMultiplier:
             recovered=recovered,
             exhausted=exhausted,
         )
+
+    def run_lifetime(
+        self,
+        md: np.ndarray,
+        mr: np.ndarray,
+        years: "Sequence[float]",
+        check_golden: bool = False,
+        policy: Union[str, RecoveryPolicy, None] = None,
+    ) -> "List[ArchitectureRunResult]":
+        """Run the control loop at every aging timestep of a lifetime.
+
+        One value pass + one batched arrival replay (see
+        :meth:`repro.aging.degradation.AgedCircuitFactory
+        .stream_results`) feed the per-timestep control loops, so the
+        sweep costs O(value pass + k * replay) instead of k full
+        simulations.  Each element is bit-identical to
+        ``run_patterns(md, mr, years=y, ...)`` at the matching year.
+        """
+        years = list(years)
+        streams = self.factory.stream_results(
+            years, {"md": md, "mr": mr}
+        )
+        return [
+            self.run_patterns(
+                md,
+                mr,
+                years=year,
+                check_golden=check_golden,
+                stream=stream,
+                policy=policy,
+            )
+            for year, stream in zip(years, streams)
+        ]
 
     # ------------------------------------------------------------------
 

@@ -21,7 +21,7 @@ the statistics (documented in EXPERIMENTS.md).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -132,20 +132,56 @@ class ExperimentContext:
         seed: int = 1,
         collect_net_stats: bool = False,
     ) -> StreamResult:
-        """Cached circuit simulation of the standard stream."""
-        key = (width, kind, float(years), num_patterns, seed)
-        cached = self._runs.get(key)
-        if cached is not None and (
-            not collect_net_stats or cached.signal_prob is not None
-        ):
-            return cached
-        md, mr = self.stream(width, num_patterns, seed)
-        circuit = self.factory(width, kind).circuit(years)
-        result = circuit.run(
-            {"md": md, "mr": mr}, collect_net_stats=collect_net_stats
-        )
-        self._runs[key] = result
-        return result
+        """Cached circuit simulation of the standard stream.
+
+        Backed by the two-plane engine: the factory computes (and
+        caches) one value plane per stimulus and replays arrivals for
+        the requested age -- bit-identical to a full
+        ``circuit(years).run(...)``.
+        """
+        return self.stream_results(
+            width,
+            kind,
+            [years],
+            num_patterns,
+            seed=seed,
+            collect_net_stats=collect_net_stats,
+        )[0]
+
+    def stream_results(
+        self,
+        width: int,
+        kind: str,
+        years: "Sequence[float]",
+        num_patterns: int,
+        seed: int = 1,
+        collect_net_stats: bool = False,
+    ) -> "List[StreamResult]":
+        """Stream results for many aging timesteps (one per ``years``
+        entry), batch-replaying every timestep missing from the cache
+        in a single vectorized arrival pass."""
+        keys = [
+            (width, kind, float(year), num_patterns, seed)
+            for year in years
+        ]
+        missing = []
+        for key in keys:
+            cached = self._runs.get(key)
+            if cached is None or (
+                collect_net_stats and cached.signal_prob is None
+            ):
+                if key not in missing:
+                    missing.append(key)
+        if missing:
+            md, mr = self.stream(width, num_patterns, seed)
+            fresh = self.factory(width, kind).stream_results(
+                [key[2] for key in missing],
+                {"md": md, "mr": mr},
+                collect_net_stats=collect_net_stats,
+            )
+            for key, result in zip(missing, fresh):
+                self._runs[key] = result
+        return [self._runs[key] for key in keys]
 
     def clear(self) -> None:
         """Drop every cache (used by memory-sensitive test runs)."""

@@ -14,7 +14,7 @@ from typing import Dict, Optional, Sequence
 
 from ..analysis.series import Series
 from ..analysis.tables import format_table
-from ..timing.sta import StaticTiming
+from ..timing.sta import critical_delays
 from .context import ExperimentContext, default_context
 
 YEARS = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
@@ -48,14 +48,13 @@ def run(
     drift = {}
     for kind in ("column", "row"):
         factory = ctx.factory(width, kind)
-        delays = []
-        for year in years:
-            scale = None if year == 0 else factory.delay_scale(year)
-            delays.append(
-                StaticTiming(
-                    ctx.netlist(width, kind), ctx.technology, scale
-                ).critical_delay
-            )
+        # One vectorized STA sweep over all aging corners (bit-identical
+        # to a per-year StaticTiming loop; see timing.sta.critical_delays).
+        delays = critical_delays(
+            ctx.netlist(width, kind),
+            ctx.technology,
+            factory.lifetime_delay_scales(years),
+        ).tolist()
         series[kind] = Series.build("%dx%d %s" % (width, width, kind),
                                     list(years), delays)
         drift[kind] = delays[-1] / delays[0] - 1.0

@@ -124,6 +124,12 @@ def run(
         # every year (leakage picks up the Vth drift separately).
         stream = ctx.stream_result(width, kind, 0.0, n)
         adaptive = design.startswith("a-")
+        if adaptive:
+            # Prefetch every aging timestep in one batched arrival
+            # replay (shared value plane, vectorized corner axis).
+            aged_streams = dict(
+                zip(years, ctx.stream_results(width, kind, years, n))
+            )
         for year in years:
             dvth = factory.mean_delta_vth(year)
             if adaptive:
@@ -131,9 +137,7 @@ def run(
                     width, kind, skip, cycle_ns, adaptive=True
                 )
                 aged_stream = (
-                    stream
-                    if year == 0
-                    else ctx.stream_result(width, kind, year, n)
+                    stream if year == 0 else aged_streams[year]
                 )
                 report = arch.run_patterns(
                     md, mr, years=year, stream=aged_stream

@@ -412,7 +412,9 @@ class InjectionCampaign:
     def run_pristine(self) -> ArchitectureRunResult:
         """The fault-free reference run on the campaign workload."""
         circuit = self._pristine_circuit()
-        stream = circuit.run({"md": self.md, "mr": self.mr})
+        stream = circuit.run(
+            {"md": self.md, "mr": self.mr}, chunk_size="auto"
+        )
         return self.architecture.run_patterns(
             self.md, self.mr, years=self.years, stream=stream
         )
@@ -428,7 +430,9 @@ class InjectionCampaign:
             arch.technology,
             delay_scale=self._base_scale,
         )
-        stream = circuit.run({"md": self.md, "mr": self.mr})
+        stream = circuit.run(
+            {"md": self.md, "mr": self.mr}, chunk_size="auto"
+        )
         result = arch.run_patterns(
             self.md, self.mr, years=self.years, stream=stream
         )

@@ -31,6 +31,12 @@ def _chain_hooks(first: FaultHook, second: FaultHook) -> FaultHook:
     def chained(values: np.ndarray, start_index: int) -> np.ndarray:
         return second(first(values, start_index), start_index)
 
+    # Preserve value-plane cacheability (repro.timing.value_cache): a
+    # chain is keyable iff both links are.
+    first_key = getattr(first, "cache_key", None)
+    second_key = getattr(second, "cache_key", None)
+    if first_key is not None and second_key is not None:
+        chained.cache_key = "%s+%s" % (first_key, second_key)
     return chained
 
 
@@ -51,6 +57,13 @@ def build_fault_hooks(
         hook = fault.value_hook()
         if hook is None:
             continue
+        if getattr(hook, "cache_key", None) is None:
+            # Deterministic identity so faulty value planes can be
+            # cached per hook set (see repro.timing.value_cache).
+            try:
+                hook.cache_key = fault.site_id()
+            except AttributeError:  # pragma: no cover - exotic callables
+                pass
         net = fault.net
         hooks[net] = (
             _chain_hooks(hooks[net], hook) if net in hooks else hook

@@ -12,26 +12,48 @@ Three engines share the cell semantics defined in
 * :mod:`repro.timing.sta` -- static (value-independent) worst-case timing
   and critical-path extraction.
 
+The stream engine additionally factors into two planes (see
+:mod:`repro.timing.replay`): a delay-independent :class:`ValuePlane`
+computed once per stimulus (cacheable across process runs via
+:class:`repro.timing.value_cache.ValuePlaneCache`) and an
+:class:`ArrivalReplay` pass that re-times it for one or many per-cell
+delay-scale vectors at once -- the fast path under every lifetime /
+variation sweep.
+
 :mod:`repro.timing.power` converts switching activity into the paper's
 power / energy-delay-product metrics.
 """
 
-from .engine import CompiledCircuit, StreamResult
+from .engine import CompiledCircuit, StreamResult, auto_chunk_size
 from .event import EventSimulator, EventResult
+from .replay import (
+    ArrivalReplay,
+    ReplayResult,
+    ValuePlane,
+    build_value_plane,
+)
 from .sta import StaticTiming, critical_path
 from .power import PowerReport, power_report
+from .value_cache import ValuePlaneCache, plane_cache_key
 from .variation import ProcessVariation, YieldReport, yield_analysis
 from .vcd import render_vcd, write_vcd
 
 __all__ = [
+    "ArrivalReplay",
     "CompiledCircuit",
     "StreamResult",
     "EventSimulator",
     "EventResult",
     "ProcessVariation",
+    "ReplayResult",
     "StaticTiming",
+    "ValuePlane",
+    "ValuePlaneCache",
     "YieldReport",
+    "auto_chunk_size",
+    "build_value_plane",
     "critical_path",
+    "plane_cache_key",
     "PowerReport",
     "power_report",
     "render_vcd",

@@ -52,6 +52,27 @@ FaultHook = Callable[[np.ndarray, int], np.ndarray]
 #: Delay-semantics modes accepted by :class:`CompiledCircuit`.
 MODES = ("inertial", "floating")
 
+#: Peak-memory target for ``chunk_size="auto"``: the streaming loop keeps
+#: on the order of ``num_nets`` live per-pattern arrays (uint8 value,
+#: bool may, float64 arrival, float64 transition density -- less after
+#: dead-net freeing), so patterns-per-chunk is bounded by this budget
+#: divided by ``num_nets * _AUTO_BYTES_PER_NET``.
+AUTO_CHUNK_TARGET_BYTES = 256 * 1024 * 1024
+_AUTO_BYTES_PER_NET = 32
+
+
+def auto_chunk_size(num_nets: int, num_patterns: int) -> int:
+    """Patterns per chunk so a run stays near ``AUTO_CHUNK_TARGET_BYTES``.
+
+    Returns a multiple of 8 (so value-plane bit-packing stays
+    byte-aligned at chunk boundaries), at least 64, and possibly larger
+    than ``num_patterns`` -- in which case the run is unchunked.
+    """
+    per_pattern = max(1, num_nets) * _AUTO_BYTES_PER_NET
+    chunk = AUTO_CHUNK_TARGET_BYTES // per_pattern
+    chunk = max(64, chunk - chunk % 8)
+    return chunk
+
 
 @dataclasses.dataclass
 class StreamResult:
@@ -102,6 +123,12 @@ class _CompiledCell:
     delay_ns: float
     cap: float
     group: Optional[str]
+    #: Original netlist cell index (the ``delay_scale`` axis).
+    index: int = 0
+    #: Unscaled delay (``delay_units * time_unit_ns``); ``delay_ns`` is
+    #: exactly ``fresh_delay_ns * delay_scale[index]``, and arrival
+    #: replay recomputes it the same way for other scale vectors.
+    fresh_delay_ns: float = 0.0
 
 
 class CompiledCircuit:
@@ -167,17 +194,18 @@ class CompiledCircuit:
         unit = technology.time_unit_ns
         self._cells: List[_CompiledCell] = []
         for position, cell in enumerate(order):
+            fresh = cell.cell_type.delay_units * unit
             self._cells.append(
                 _CompiledCell(
                     position=position,
                     opcode=cell.cell_type.opcode,
                     inputs=cell.inputs,
                     output=cell.output,
-                    delay_ns=cell.cell_type.delay_units
-                    * unit
-                    * float(scale[cell.index]),
+                    delay_ns=fresh * float(scale[cell.index]),
                     cap=cell.cell_type.load_caps,
                     group=cell.group,
+                    index=cell.index,
+                    fresh_delay_ns=fresh,
                 )
             )
 
@@ -288,7 +316,8 @@ class CompiledCircuit:
         initial: Optional[Dict[str, int]] = None,
         collect_bit_arrivals: bool = False,
         collect_net_stats: bool = False,
-        chunk_size: Optional[int] = None,
+        chunk_size: "Optional[int | str]" = None,
+        _recorder=None,
     ) -> StreamResult:
         """Simulate a pattern stream.
 
@@ -298,12 +327,20 @@ class CompiledCircuit:
             initial: Optional port values the circuit held *before* the
                 first pattern.  Defaults to the first pattern itself, so
                 pattern 0 arrives on a settled, quiet circuit and reports
-                zero delay.
+                zero delay.  Names must be input ports.
             collect_bit_arrivals: Keep per-output-bit arrival matrices.
             collect_net_stats: Keep per-net signal probabilities and
                 toggle counts (needed by the aging stress extractor).
             chunk_size: Process the stream in chunks of this many patterns
                 to bound memory; results are exact regardless of chunking.
+                ``"auto"`` picks a chunk from :func:`auto_chunk_size` so
+                peak memory stays near ``AUTO_CHUNK_TARGET_BYTES``
+                regardless of ``num_nets * n``.
+            _recorder: Internal -- a value-plane recorder (see
+                :mod:`repro.timing.replay`).  When set, arrival
+                computation is skipped (the recorder captures the masks
+                needed to replay it) and the returned ``delays`` /
+                ``bit_arrivals`` are not meaningful.
         """
         ports = self.netlist.input_ports
         missing = set(ports) - set(stimulus)
@@ -313,6 +350,13 @@ class CompiledCircuit:
                 "stimulus ports mismatch: missing=%s extra=%s"
                 % (sorted(missing), sorted(extra))
             )
+        if initial is not None:
+            unknown = set(initial) - set(ports)
+            if unknown:
+                raise SimulationError(
+                    "initial contains unknown input ports: %s (have: %s)"
+                    % (sorted(unknown), sorted(ports))
+                )
         arrays = {
             name: np.asarray(values, dtype=np.uint64)
             for name, values in stimulus.items()
@@ -323,6 +367,14 @@ class CompiledCircuit:
         (n,) = lengths
         if n == 0:
             raise SimulationError("stimulus must contain at least 1 pattern")
+
+        if isinstance(chunk_size, str):
+            if chunk_size != "auto":
+                raise SimulationError(
+                    'chunk_size must be an int, None or "auto", got %r'
+                    % (chunk_size,)
+                )
+            chunk_size = auto_chunk_size(self.num_nets, n)
 
         # Prepend the settling pattern: the state the circuit held before
         # pattern 0.  Index 0 of the simulated stream is dropped from all
@@ -346,11 +398,18 @@ class CompiledCircuit:
                 collect_net_stats=collect_net_stats,
                 drop_first=True,
                 start_index=-1,
+                recorder=_recorder,
             )
             return result
 
         if chunk_size < 1:
             raise SimulationError("chunk_size must be >= 1")
+        if _recorder is not None and chunk_size % 8:
+            raise SimulationError(
+                "value-plane recording needs a chunk_size that is a "
+                "multiple of 8 (byte-aligned bit packing), got %d"
+                % chunk_size
+            )
         pieces: List[StreamResult] = []
         carry_values: Optional[np.ndarray] = None
         carry_held: Dict[int, int] = {}
@@ -368,11 +427,31 @@ class CompiledCircuit:
                 collect_net_stats=collect_net_stats,
                 drop_first=first_chunk,
                 start_index=start - 1,
+                recorder=_recorder,
             )
             pieces.append(result)
             start = stop
             first_chunk = False
         return _concatenate_results(pieces, self.num_nets)
+
+    def value_plane(
+        self,
+        stimulus: Dict[str, Sequence[int]],
+        initial: Optional[Dict[str, int]] = None,
+        collect_net_stats: bool = False,
+        chunk_size: "Optional[int | str]" = "auto",
+    ):
+        """Run the value pass once and return a reusable
+        :class:`~repro.timing.replay.ValuePlane` (see that module)."""
+        from .replay import build_value_plane
+
+        return build_value_plane(
+            self,
+            stimulus,
+            initial=initial,
+            collect_net_stats=collect_net_stats,
+            chunk_size=chunk_size,
+        )
 
     # ------------------------------------------------------------------
 
@@ -385,6 +464,7 @@ class CompiledCircuit:
         collect_net_stats: bool,
         drop_first: bool,
         start_index: int = -1,
+        recorder=None,
     ):
         """Simulate one chunk.
 
@@ -393,6 +473,8 @@ class CompiledCircuit:
         starts with the prepended settling pattern and ``drop_first``).
         ``start_index`` is the global pattern index of the chunk's first
         element (-1 for the settling pattern), forwarded to fault hooks.
+        ``recorder``, when set, captures the value plane instead of
+        computing arrivals.
         """
         fault_hooks = self.fault_hooks
         netlist = self.netlist
@@ -400,6 +482,9 @@ class CompiledCircuit:
         zeros_f = np.zeros(n)
         false_b = np.zeros(n, dtype=bool)
         inertial = self.mode == "inertial"
+        lo = 1 if drop_first else 0
+        if recorder is not None:
+            recorder.begin(start_index + lo, lo)
 
         values: Dict[int, np.ndarray] = {}
         mays: Dict[int, np.ndarray] = {}
@@ -446,6 +531,8 @@ class CompiledCircuit:
                 arrs[net] = zeros_f
                 trans[net] = flags.astype(float)
                 final_values[net] = cur[-1]
+                if recorder is not None:
+                    recorder.net_may(net, flags)
                 if collect_net_stats:
                     sig_sum[net] = cur.sum()
                     tog_sum[net] = flags.sum()
@@ -455,7 +542,6 @@ class CompiledCircuit:
         for compiled in self._cells:
             in_vals = [values[net] for net in compiled.inputs]
             in_mays = [mays[net] for net in compiled.inputs]
-            in_arrs = [arrs[net] for net in compiled.inputs]
             out_val = logic.eval_vector(compiled.opcode, in_vals)
             net = compiled.output
             if net in fault_hooks:
@@ -463,17 +549,26 @@ class CompiledCircuit:
                     fault_hooks[net](out_val, start_index), dtype=np.uint8
                 )
             changed = changed_flags(net, out_val)
-            out_may, out_arr = logic.arrival_vector(
-                compiled.opcode,
-                in_vals,
-                in_mays,
-                in_arrs,
-                compiled.delay_ns,
-                out_may=changed if inertial else None,
-            )
+            aux = logic.aux_masks(compiled.opcode, in_vals)
+            if inertial:
+                out_may = changed
+            else:
+                out_may = logic.may_vector(
+                    compiled.opcode, in_vals, in_mays, aux
+                )
+            if recorder is None:
+                in_arrs = [arrs[net] for net in compiled.inputs]
+                arrs[net] = logic.arrival_masks(
+                    compiled.opcode, aux, in_arrs, compiled.delay_ns,
+                    out_may,
+                )
+            else:
+                # Value-plane pass: the recorder keeps the masks the
+                # arrival rules consume; arrivals are replayed later for
+                # arbitrarily many delay vectors.
+                recorder.cell(compiled.position, net, out_may, aux)
             values[net] = out_val
             mays[net] = out_may
-            arrs[net] = out_arr
             final_values[net] = out_val[-1]
 
             # Switching activity: value-conditioned transition densities
@@ -516,7 +611,6 @@ class CompiledCircuit:
                     arrs.pop(used, None)
                     trans.pop(used, None)
 
-        lo = 1 if drop_first else 0
         outputs: Dict[str, np.ndarray] = {}
         bit_arrivals: Optional[Dict[str, np.ndarray]] = (
             {} if collect_bit_arrivals else None
@@ -525,10 +619,13 @@ class CompiledCircuit:
         for name, port in netlist.output_ports.items():
             bit_matrix = np.vstack([values[net] for net in port.nets])
             outputs[name] = logic.pack_bits(bit_matrix)[lo:]
-            port_arr = np.vstack([arrs[net] for net in port.nets])
-            if collect_bit_arrivals:
-                bit_arrivals[name] = port_arr[:, lo:]
-            delays = np.maximum(delays, port_arr.max(axis=0))
+            if recorder is None:
+                port_arr = np.vstack([arrs[net] for net in port.nets])
+                if collect_bit_arrivals:
+                    bit_arrivals[name] = port_arr[:, lo:]
+                delays = np.maximum(delays, port_arr.max(axis=0))
+            elif collect_bit_arrivals:
+                bit_arrivals[name] = np.zeros((port.width, n - lo))
 
         reported = n - lo
         result = StreamResult(

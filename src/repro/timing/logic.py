@@ -117,6 +117,138 @@ def eval_vector(opcode: int, values: Sequence[np.ndarray]) -> np.ndarray:
     raise SimulationError("unknown opcode %r" % (opcode,))
 
 
+def aux_masks(
+    opcode: int, values: Sequence[np.ndarray]
+) -> "tuple[np.ndarray, ...]":
+    """The value-derived masks the arrival rules of a cell consume.
+
+    These are the *only* facts about logic values that timing needs:
+
+    * simple gates with a controlling value: per-input ``value == ctrl``;
+    * MUX2: the boolean select stream;
+    * TRIBUF: the boolean enable stream;
+    * BUF/INV/XOR/XNOR: nothing (pure delay propagation).
+
+    Because they depend on values but never on delays, a value-plane
+    pass can compute them once and replay arrivals for arbitrarily many
+    per-cell delay vectors (see :mod:`repro.timing.replay`).
+    """
+    ctrl = CONTROLLING_VALUE.get(opcode)
+    if ctrl is not None:
+        return tuple(value == ctrl for value in values)
+    if opcode == OP_MUX2:
+        return (values[2].astype(bool),)
+    if opcode == OP_TRIBUF:
+        return (values[1].astype(bool),)
+    if opcode in (OP_BUF, OP_INV, OP_XOR2, OP_XNOR2):
+        return ()
+    raise SimulationError("no arrival rule for opcode %r" % (opcode,))
+
+
+def may_vector(
+    opcode: int,
+    values: Sequence[np.ndarray],
+    mays: Sequence[np.ndarray],
+    aux: Optional["tuple[np.ndarray, ...]"] = None,
+) -> np.ndarray:
+    """Floating-mode may-change propagation (value- and may-dependent,
+    delay-independent).  ``aux`` may carry precomputed
+    :func:`aux_masks` output for the same cell."""
+    if opcode in (OP_BUF, OP_INV):
+        return mays[0]
+    if opcode in (OP_XOR2, OP_XNOR2):
+        return mays[0] | mays[1]
+    if aux is None:
+        aux = aux_masks(opcode, values)
+    if CONTROLLING_VALUE.get(opcode) is not None:
+        stable_ctrl = np.zeros_like(mays[0])
+        any_may = np.zeros_like(mays[0])
+        for may, c in zip(mays, aux):
+            stable_ctrl |= c & ~may
+            any_may |= may
+        return any_may & ~stable_ctrl
+    if opcode == OP_MUX2:
+        v0, v1, _ = values
+        may0, may1, may_s = mays
+        (sel,) = aux
+        # If both data inputs are quiet and equal, the output is pinned
+        # even while the select moves.
+        pinned = ~may0 & ~may1 & (v0 == v1)
+        chosen_may = np.where(sel, may1, may0)
+        return (may_s & ~pinned) | chosen_may
+    if opcode == OP_TRIBUF:
+        may_d, may_e = mays
+        (enabled,) = aux
+        # Enable stable: acts as a wire when on, frozen when off.
+        return np.where(may_e, True, enabled & may_d)
+    raise SimulationError("no arrival rule for opcode %r" % (opcode,))
+
+
+def arrival_masks(
+    opcode: int,
+    aux: "tuple[np.ndarray, ...]",
+    arrivals: Sequence[np.ndarray],
+    delay,
+    out_may: np.ndarray,
+) -> np.ndarray:
+    """Arrival propagation from precomputed masks (the arrival plane).
+
+    ``arrivals`` must satisfy the engine's quiet-zero invariant: an
+    arrival entry is exactly ``0.0`` wherever its net's may-mask is
+    False (every array produced by this function, and every primary
+    input / constant rail, satisfies it).  Under that invariant the
+    historical ``np.where(may, arr, 0.0)`` re-masking is the identity,
+    so it is omitted here -- results are bit-identical and the kernel is
+    what makes k-corner batched replay cheap.
+
+    ``delay`` may be a scalar (one delay vector -- the streaming engine)
+    or a ``(k, 1)`` column (k aging timesteps / variation corners at
+    once); all other arrays broadcast along the leading corner axis.
+    """
+    if opcode in (OP_BUF, OP_INV):
+        return np.where(out_may, arrivals[0] + delay, 0.0)
+
+    if opcode in (OP_XOR2, OP_XNOR2):
+        last = np.maximum(arrivals[0], arrivals[1])
+        return np.where(out_may, last + delay, 0.0)
+
+    if CONTROLLING_VALUE.get(opcode) is not None:
+        # A quiet controlling input pins the output; a moving controlling
+        # input caps the arrival at the earliest controlling settle time.
+        shape = np.broadcast_shapes(*(np.shape(arr) for arr in arrivals))
+        inf = np.float64(np.inf)
+        ctrl_arr = np.full(shape, inf)
+        last_arr = np.zeros(shape)
+        has_ctrl = np.zeros_like(aux[0])
+        for arr, c in zip(arrivals, aux):
+            ctrl_arr = np.where(c, np.minimum(ctrl_arr, arr), ctrl_arr)
+            has_ctrl |= c
+            last_arr = np.maximum(last_arr, arr)
+        base = np.where(has_ctrl, ctrl_arr, last_arr)
+        return np.where(out_may, base + delay, 0.0)
+
+    if opcode == OP_MUX2:
+        # The settled select isolates the unselected data input: the
+        # bypassed full adder behind the unselected pin can keep wiggling
+        # without stretching the mux output.
+        (sel,) = aux
+        chosen_eff = np.where(sel, arrivals[1], arrivals[0])
+        return np.where(
+            out_may, np.maximum(arrivals[2], chosen_eff) + delay, 0.0
+        )
+
+    if opcode == OP_TRIBUF:
+        # Quiet whenever it is stably disabled.
+        (enabled,) = aux
+        arr_moving = (
+            np.maximum(arrivals[1], np.where(enabled, arrivals[0], 0.0))
+            + delay
+        )
+        return np.where(out_may, arr_moving, 0.0)
+
+    raise SimulationError("no arrival rule for opcode %r" % (opcode,))
+
+
 def arrival_vector(
     opcode: int,
     values: Sequence[np.ndarray],
@@ -145,103 +277,18 @@ def arrival_vector(
       earliest controlling input's settle time plus the cell delay;
     * otherwise the output settles one delay after the last moving input.
 
+    ``arrivals`` must satisfy the quiet-zero invariant documented on
+    :func:`arrival_masks` (engine-produced arrivals always do).  This is
+    a thin composition of :func:`aux_masks`, :func:`may_vector` and
+    :func:`arrival_masks` -- the value plane stores the first two, the
+    arrival plane replays the third.
+
     Returns ``(may, arr)`` arrays.
     """
-    if opcode in (OP_BUF, OP_INV):
-        may = mays[0] if out_may is None else out_may
-        arr = np.where(may, arrivals[0] + delay, 0.0)
-        return may, arr
-
-    if opcode in (OP_XOR2, OP_XNOR2):
-        may = (mays[0] | mays[1]) if out_may is None else out_may
-        last = np.maximum(
-            np.where(mays[0], arrivals[0], 0.0),
-            np.where(mays[1], arrivals[1], 0.0),
-        )
-        return may, np.where(may, last + delay, 0.0)
-
-    ctrl = CONTROLLING_VALUE.get(opcode)
-    if ctrl is not None:
-        return _arrival_controlled(
-            values, mays, arrivals, ctrl, delay, out_may
-        )
-
-    if opcode == OP_MUX2:
-        return _arrival_mux2(values, mays, arrivals, delay, out_may)
-
-    if opcode == OP_TRIBUF:
-        return _arrival_tribuf(values, mays, arrivals, delay, out_may)
-
-    raise SimulationError("no arrival rule for opcode %r" % (opcode,))
-
-
-def _arrival_controlled(values, mays, arrivals, ctrl, delay, out_may):
-    """Simple gates with a controlling input value (AND/OR/NAND/NOR)."""
-    is_ctrl = [value == ctrl for value in values]
+    aux = aux_masks(opcode, values)
     if out_may is None:
-        stable_ctrl = np.zeros_like(mays[0])
-        any_may = np.zeros_like(mays[0])
-        for may, c in zip(mays, is_ctrl):
-            stable_ctrl |= c & ~may
-            any_may |= may
-        out_may = any_may & ~stable_ctrl
-
-    inf = np.float64(np.inf)
-    ctrl_arr = np.full(values[0].shape, inf)
-    last_arr = np.zeros(values[0].shape)
-    has_ctrl = np.zeros_like(is_ctrl[0])
-    for value, may, arr, c in zip(values, mays, arrivals, is_ctrl):
-        eff = np.where(may, arr, 0.0)
-        ctrl_arr = np.where(c, np.minimum(ctrl_arr, eff), ctrl_arr)
-        has_ctrl |= c
-        last_arr = np.maximum(last_arr, eff)
-    base = np.where(has_ctrl, ctrl_arr, last_arr)
-    arr = np.where(out_may, base + delay, 0.0)
-    return out_may, arr
-
-
-def _arrival_mux2(values, mays, arrivals, delay, out_may=None):
-    """2:1 mux: the settled select isolates the unselected data input.
-
-    The output is fixed once both the select and the *finally selected*
-    data input have settled: before that it may track either input, but
-    no event can land after ``max(select, selected-data) + delay``.  This
-    is what makes bypass chains fast even on the pattern where the select
-    bit itself just changed -- the bypassed full adder behind the
-    unselected pin can keep wiggling without stretching the mux output.
-    """
-    v0, v1, vs = values
-    may0, may1, may_s = mays
-    eff0 = np.where(may0, arrivals[0], 0.0)
-    eff1 = np.where(may1, arrivals[1], 0.0)
-    eff_s = np.where(may_s, arrivals[2], 0.0)
-    sel = vs.astype(bool)
-
-    chosen_may = np.where(sel, may1, may0)
-    chosen_eff = np.where(sel, eff1, eff0)
-    if out_may is None:
-        # If both data inputs are quiet and equal, the output is pinned
-        # even while the select moves.
-        pinned = ~may0 & ~may1 & (v0 == v1)
-        out_may = (may_s & ~pinned) | chosen_may
-    arr = np.where(out_may, np.maximum(eff_s, chosen_eff) + delay, 0.0)
-    return out_may, arr
-
-
-def _arrival_tribuf(values, mays, arrivals, delay, out_may=None):
-    """Tri-state buffer: quiet whenever it is stably disabled."""
-    vd, ve = values
-    may_d, may_e = mays
-    eff_d = np.where(may_d, arrivals[0], 0.0)
-    eff_e = np.where(may_e, arrivals[1], 0.0)
-    enabled = ve.astype(bool)
-
-    if out_may is None:
-        # Enable stable: acts as a wire when on, frozen when off.
-        out_may = np.where(may_e, True, enabled & may_d)
-    arr_moving = np.maximum(eff_e, np.where(enabled, eff_d, 0.0)) + delay
-    arr = np.where(out_may, arr_moving, 0.0)
-    return out_may, arr
+        out_may = may_vector(opcode, values, mays, aux)
+    return out_may, arrival_masks(opcode, aux, arrivals, delay, out_may)
 
 
 def transition_vector(

@@ -96,3 +96,52 @@ def critical_path(
     """Convenience wrapper: (critical delay ns, cells along the path)."""
     sta = StaticTiming(netlist, technology, delay_scale)
     return sta.critical_delay, sta.critical_path()
+
+
+def critical_delays(
+    netlist: Netlist,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+    delay_scales: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Critical-path delays for many delay-scale corners at once.
+
+    ``delay_scales`` is ``(k, num_cells)`` (or ``(num_cells,)`` for a
+    single corner); the result is ``(k,)`` ns.  One topological sweep
+    with the corner axis vectorized -- entry ``j`` is bit-identical to
+    ``StaticTiming(netlist, technology, delay_scales[j]).critical_delay``
+    (same float op order per corner), which is what the aging-trend
+    sweeps (Fig. 7) rely on.
+    """
+    netlist.validate()
+    cells = netlist.cells
+    if delay_scales is None:
+        scales = np.ones((1, len(cells)))
+    else:
+        scales = np.asarray(delay_scales, dtype=float)
+        if scales.ndim == 1:
+            scales = scales[None, :]
+        if scales.ndim != 2 or scales.shape[1] != len(cells):
+            raise SimulationError(
+                "delay_scales must be (k, num_cells) with num_cells=%d, "
+                "got %r" % (len(cells), np.shape(delay_scales))
+            )
+    unit = technology.time_unit_ns
+    k = scales.shape[0]
+    zeros = np.zeros(k)
+    arrival: Dict[int, np.ndarray] = {}
+    for cell in netlist.levelize():
+        fresh = cell.cell_type.delay_units * unit
+        delay = fresh * scales[:, cell.index]
+        worst_in = zeros
+        for net in cell.inputs:
+            got = arrival.get(net)
+            if got is not None:
+                worst_in = np.maximum(worst_in, got)
+        arrival[cell.output] = worst_in + delay
+    worst = zeros
+    for port in netlist.output_ports.values():
+        for net in port.nets:
+            got = arrival.get(net)
+            if got is not None:
+                worst = np.maximum(worst, got)
+    return worst

@@ -113,6 +113,11 @@ def yield_analysis(
 
     Every die shares the workload; a die is *feasible* when no operation
     blew the two-cycle budget (the Razor safety envelope held).
+
+    All dies share the value plane (process corners only rescale
+    delays), so the sweep is one value pass plus one batched
+    :class:`~repro.timing.replay.ArrivalReplay` over the ``num_dies``
+    corner axis -- bit-identical to compiling and running each die.
     """
     variation = variation or ProcessVariation()
     netlist = architecture.netlist
@@ -124,19 +129,25 @@ def yield_analysis(
     aging_scale = (
         architecture.factory.delay_scale(years) if years else None
     )
+    die_scales = np.vstack(
+        list(sample_dies(netlist, variation, num_dies, seed=seed + 1))
+    )
+    scales = (
+        die_scales if aging_scale is None else die_scales * aging_scale
+    )
+    # Local import: repro.timing.replay imports this package's engine.
+    from .replay import ArrivalReplay
+
+    circuit = architecture.factory.circuit(0.0)
+    plane = architecture.factory.value_plane({"md": md, "mr": mr})
+    replayed = ArrivalReplay(circuit, plane).replay(scales)
+
     latencies = np.empty(num_dies)
     error_rates = np.empty(num_dies)
     feasible = np.empty(num_dies, dtype=bool)
-    for k, die_scale in enumerate(
-        sample_dies(netlist, variation, num_dies, seed=seed + 1)
-    ):
-        scale = (
-            die_scale if aging_scale is None else die_scale * aging_scale
-        )
-        circuit = architecture.factory.circuit(0.0).with_delay_scale(scale)
-        stream = circuit.run({"md": md, "mr": mr})
+    for k in range(num_dies):
         report = architecture.run_patterns(
-            md, mr, years=0.0, stream=stream
+            md, mr, years=0.0, stream=replayed.stream_result(k)
         ).report
         latencies[k] = report.average_latency_ns
         error_rates[k] = report.error_rate

@@ -137,6 +137,43 @@ class TestChunking:
         with pytest.raises(SimulationError):
             circuit.run({"md": md, "mr": mr}, chunk_size=0)
 
+    def test_bad_chunk_size_string_rejected(self, cb8):
+        circuit = CompiledCircuit(cb8)
+        md, mr = uniform_operands(8, 10, seed=1)
+        with pytest.raises(SimulationError):
+            circuit.run({"md": md, "mr": mr}, chunk_size="huge")
+
+    def test_auto_chunk_equals_unchunked(self, cb8):
+        circuit = CompiledCircuit(cb8)
+        md, mr = uniform_operands(8, 300, seed=9)
+        whole = circuit.run({"md": md, "mr": mr})
+        auto = circuit.run({"md": md, "mr": mr}, chunk_size="auto")
+        assert np.array_equal(auto.outputs["p"], whole.outputs["p"])
+        assert np.array_equal(auto.delays, whole.delays)
+        assert np.array_equal(auto.switched_caps, whole.switched_caps)
+
+    def test_auto_chunk_size_bounds(self):
+        from repro.timing.engine import auto_chunk_size
+
+        size = auto_chunk_size(num_nets=500, num_patterns=10**9)
+        assert size >= 64
+        assert size % 8 == 0
+        # Small nets / small streams never force chunking overhead.
+        assert auto_chunk_size(10, 100) >= 100
+
+
+class TestInitialValidation:
+    def test_unknown_initial_port_rejected(self):
+        circuit = CompiledCircuit(inverter_chain())
+        with pytest.raises(SimulationError) as err:
+            circuit.run({"a": [0, 1]}, initial={"a": 0, "bogus": 1})
+        assert "bogus" in str(err.value)
+
+    def test_valid_initial_still_accepted(self):
+        circuit = CompiledCircuit(inverter_chain())
+        result = circuit.run({"a": [1, 1]}, initial={"a": 0})
+        assert result.delays[0] > 0.0
+
 
 class TestModes:
     def test_inertial_never_exceeds_floating(self):
