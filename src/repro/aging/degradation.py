@@ -25,6 +25,7 @@ from ..config import DEFAULT_TECHNOLOGY, Technology
 from ..errors import SimulationError
 from ..nets.netlist import Netlist
 from ..timing.engine import CompiledCircuit, StreamResult
+from ..timing.fold import fold_stimulus, unfold_stream
 from ..timing.replay import ArrivalReplay
 from ..timing.value_cache import ValuePlaneCache
 from .bti import BTIModel
@@ -171,16 +172,45 @@ class AgedCircuitFactory:
         stimulus: Dict[str, np.ndarray],
         collect_bit_arrivals: bool = False,
         collect_net_stats: bool = False,
+        fold: bool = True,
     ) -> "List[StreamResult]":
         """Stream results for many aging timesteps via one value pass.
 
         Bit-identical to ``[self.circuit(y).run(stimulus, ...) for y in
         years]`` but the levelized value loop runs once and the aged
         corners are batch-replayed (see :mod:`repro.timing.replay`).
+
+        ``fold`` (default on) additionally deduplicates repeated
+        operand transitions before the value pass: the *folded* plane
+        is what the :class:`ValuePlaneCache` keys and the replay
+        prices, and every corner's result is scattered back to stream
+        order (see :mod:`repro.timing.fold`) -- still bit-identical.
+        Folding is bypassed when net stats are requested (they need
+        per-pattern multiplicity) or when the stream barely repeats.
         """
         years = list(years)
         if not years:
             return []
+        plan = None
+        if (
+            fold
+            and not collect_net_stats
+            and not self.circuit(0.0).fault_hooks
+        ):
+            plan = fold_stimulus(stimulus)
+            if not plan.profitable:
+                plan = None
+        if plan is not None:
+            plane = self.value_plane(plan.folded)
+            replayer = ArrivalReplay(self.circuit(0.0), plane)
+            result = replayer.replay(
+                self.lifetime_delay_scales(years),
+                collect_bit_arrivals=collect_bit_arrivals,
+            )
+            return [
+                unfold_stream(result.stream_result(j), plan)
+                for j in range(len(years))
+            ]
         plane = self.value_plane(
             stimulus, collect_net_stats=collect_net_stats
         )
@@ -197,6 +227,7 @@ class AgedCircuitFactory:
         stimulus: Dict[str, np.ndarray],
         collect_bit_arrivals: bool = False,
         collect_net_stats: bool = False,
+        fold: bool = True,
     ) -> StreamResult:
         """One aged stream result through the replay fast path."""
         return self.stream_results(
@@ -204,6 +235,7 @@ class AgedCircuitFactory:
             stimulus,
             collect_bit_arrivals=collect_bit_arrivals,
             collect_net_stats=collect_net_stats,
+            fold=fold,
         )[0]
 
     def mean_delta_vth(self, years: float) -> float:

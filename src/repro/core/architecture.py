@@ -509,6 +509,7 @@ class AgingAwareMultiplier:
         years: "Sequence[float]",
         check_golden: bool = False,
         policy: Union[str, RecoveryPolicy, None] = None,
+        fold: bool = True,
     ) -> "List[ArchitectureRunResult]":
         """Run the control loop at every aging timestep of a lifetime.
 
@@ -516,12 +517,14 @@ class AgingAwareMultiplier:
         :meth:`repro.aging.degradation.AgedCircuitFactory
         .stream_results`) feed the per-timestep control loops, so the
         sweep costs O(value pass + k * replay) instead of k full
-        simulations.  Each element is bit-identical to
+        simulations.  ``fold`` (default on) deduplicates repeated
+        operand transitions before the value pass (see
+        :mod:`repro.timing.fold`).  Each element is bit-identical to
         ``run_patterns(md, mr, years=y, ...)`` at the matching year.
         """
         years = list(years)
         streams = self.factory.stream_results(
-            years, {"md": md, "mr": mr}
+            years, {"md": md, "mr": mr}, fold=fold
         )
         return [
             self.run_patterns(

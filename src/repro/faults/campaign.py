@@ -413,7 +413,7 @@ class InjectionCampaign:
         """The fault-free reference run on the campaign workload."""
         circuit = self._pristine_circuit()
         stream = circuit.run(
-            {"md": self.md, "mr": self.mr}, chunk_size="auto"
+            {"md": self.md, "mr": self.mr}, chunk_size="auto", fold=True
         )
         return self.architecture.run_patterns(
             self.md, self.mr, years=self.years, stream=stream
@@ -430,8 +430,11 @@ class InjectionCampaign:
             arch.technology,
             delay_scale=self._base_scale,
         )
+        # ``fold=True`` only folds hook-free circuits (pure delay
+        # faults); value-corrupting hooks make the engine bypass it, so
+        # every fault model keeps its exact per-pattern indexing.
         stream = circuit.run(
-            {"md": self.md, "mr": self.mr}, chunk_size="auto"
+            {"md": self.md, "mr": self.mr}, chunk_size="auto", fold=True
         )
         result = arch.run_patterns(
             self.md, self.mr, years=self.years, stream=stream

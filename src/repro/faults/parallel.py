@@ -15,7 +15,11 @@ Determinism contract (why sharded == serial, bit for bit):
 * SEU flip decisions are a stateless counter hash of ``(fault seed,
   net, global pattern index)`` (see :class:`~repro.faults.models
   .TransientBitFlip`), so they are independent of which process -- or
-  which chunk -- simulates the site;
+  which chunk -- simulates the site.  Unique-stimulus folding
+  (:mod:`repro.timing.fold`) would renumber those global indices, which
+  is why the engine refuses to fold any circuit carrying fault hooks:
+  ``run_site``'s ``fold=True`` is a no-op for value-corrupting faults
+  and only ever folds pure delay faults, keeping flips deterministic;
 * every site is simulated independently (single-fault campaigns share
   no state), so completion *order* cannot influence any report, and the
   parent reassembles results by site index.

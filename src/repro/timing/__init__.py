@@ -26,12 +26,14 @@ power / energy-delay-product metrics.
 
 from .engine import CompiledCircuit, StreamResult, auto_chunk_size
 from .event import EventSimulator, EventResult
+from .fold import FoldPlan, fold_stimulus, unfold_stream
 from .replay import (
     ArrivalReplay,
     ReplayResult,
     ValuePlane,
     build_value_plane,
 )
+from .soa import SoAPlan, build_soa_plan
 from .sta import StaticTiming, critical_path
 from .power import PowerReport, power_report
 from .value_cache import ValuePlaneCache, plane_cache_key
@@ -41,19 +43,24 @@ from .vcd import render_vcd, write_vcd
 __all__ = [
     "ArrivalReplay",
     "CompiledCircuit",
+    "FoldPlan",
     "StreamResult",
     "EventSimulator",
     "EventResult",
     "ProcessVariation",
     "ReplayResult",
+    "SoAPlan",
     "StaticTiming",
     "ValuePlane",
     "ValuePlaneCache",
     "YieldReport",
     "auto_chunk_size",
+    "build_soa_plan",
     "build_value_plane",
     "critical_path",
+    "fold_stimulus",
     "plane_cache_key",
+    "unfold_stream",
     "PowerReport",
     "power_report",
     "render_vcd",

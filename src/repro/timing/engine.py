@@ -41,6 +41,7 @@ from ..config import DEFAULT_TECHNOLOGY, Technology
 from ..errors import FaultError, SimulationError
 from ..nets.netlist import CONST0, CONST1, Netlist
 from . import logic
+from .soa import build_soa_plan
 
 #: A value-fault hook: maps a net's per-pattern bit stream to the faulted
 #: stream.  ``start_index`` is the *global* index of the first element
@@ -51,6 +52,16 @@ FaultHook = Callable[[np.ndarray, int], np.ndarray]
 
 #: Delay-semantics modes accepted by :class:`CompiledCircuit`.
 MODES = ("inertial", "floating")
+
+#: Evaluation kernels accepted by :class:`CompiledCircuit`.  ``"soa"``
+#: (the default) evaluates whole (level, opcode) buckets with batched
+#: gather/scatter over ``(num_nets, n)`` matrices; ``"percell"`` is the
+#: original per-cell interpreter, kept as the benchmark baseline and
+#: equivalence reference.  Both produce bit-identical per-net and
+#: per-pattern results (values, delays, arrivals, toggles); only the
+#: cross-cell switched-capacitance *sum* may differ by float
+#: association.
+KERNELS = ("soa", "percell")
 
 #: Peak-memory target for ``chunk_size="auto"``: the streaming loop keeps
 #: on the order of ``num_nets`` live per-pattern arrays (uint8 value,
@@ -147,6 +158,10 @@ class CompiledCircuit:
             transient value faults enter the simulation; delay faults
             enter through ``delay_scale``).  Constant rails cannot be
             hooked.
+        kernel: Evaluation kernel, one of :data:`KERNELS`.  ``"soa"``
+            runs the levelized bucketed kernel with scalar fallback for
+            hooked cells; ``"percell"`` forces the per-cell reference
+            path everywhere.
     """
 
     def __init__(
@@ -156,11 +171,17 @@ class CompiledCircuit:
         delay_scale: Optional[np.ndarray] = None,
         mode: str = "inertial",
         fault_hooks: Optional[Dict[int, FaultHook]] = None,
+        kernel: str = "soa",
     ):
         if mode not in MODES:
             raise SimulationError(
                 "mode must be one of %s, got %r" % (MODES, mode)
             )
+        if kernel not in KERNELS:
+            raise SimulationError(
+                "kernel must be one of %s, got %r" % (KERNELS, kernel)
+            )
+        self.kernel = kernel
         netlist.validate()
         self.netlist = netlist
         self.technology = technology
@@ -223,6 +244,10 @@ class CompiledCircuit:
                 self._last_use[net] = compiled.position
 
         self.num_nets = netlist.num_nets
+        self._reach_masks: Optional[List[int]] = None
+        self._cell_delays: Optional[np.ndarray] = None
+        self._soa_value_plan = None
+        self._soa_replay_plan = None
 
     # ------------------------------------------------------------------
     # Logic-cone reachability
@@ -270,7 +295,7 @@ class CompiledCircuit:
         pruning relies on.
         """
         cache_ok = ports is None
-        if cache_ok and getattr(self, "_reach_masks", None) is not None:
+        if cache_ok and self._reach_masks is not None:
             return self._reach_masks
         masks = [0] * self.num_nets
         for bit, (name, index) in enumerate(self.output_bit_labels(ports)):
@@ -301,12 +326,44 @@ class CompiledCircuit:
         """Recompile with new per-cell delay factors (e.g. another year)."""
         return CompiledCircuit(
             self.netlist, self.technology, delay_scale, self.mode,
-            self.fault_hooks,
+            self.fault_hooks, self.kernel,
         )
 
     def cell_delays_ns(self) -> np.ndarray:
-        """Per-cell delays in topological order (ns)."""
-        return np.array([c.delay_ns for c in self._cells])
+        """Per-cell delays in topological order (ns).
+
+        Cached (and returned read-only) -- campaign pruning and timing
+        reports call this repeatedly on the same compiled circuit.
+        """
+        if self._cell_delays is None:
+            delays = np.array([c.delay_ns for c in self._cells])
+            delays.setflags(write=False)
+            self._cell_delays = delays
+        return self._cell_delays
+
+    def soa_value_plan(self):
+        """The bucketed :class:`~repro.timing.soa.SoAPlan` of the value
+        pass: cells with hooked outputs fall into per-level scalar
+        lists (built lazily, cached)."""
+        if self._soa_value_plan is None:
+            self._soa_value_plan = build_soa_plan(
+                self._cells, self.netlist, frozenset(self.fault_hooks)
+            )
+        return self._soa_value_plan
+
+    def soa_replay_plan(self):
+        """The all-cells bucket plan used by arrival replay.  Replay
+        consumes recorded (already-faulted) masks, so hooks need no
+        scalar fallback there; hook-free circuits share the value plan.
+        """
+        if self._soa_replay_plan is None:
+            if not self.fault_hooks:
+                self._soa_replay_plan = self.soa_value_plan()
+            else:
+                self._soa_replay_plan = build_soa_plan(
+                    self._cells, self.netlist, frozenset()
+                )
+        return self._soa_replay_plan
 
     # ------------------------------------------------------------------
 
@@ -317,6 +374,7 @@ class CompiledCircuit:
         collect_bit_arrivals: bool = False,
         collect_net_stats: bool = False,
         chunk_size: "Optional[int | str]" = None,
+        fold: bool = False,
         _recorder=None,
     ) -> StreamResult:
         """Simulate a pattern stream.
@@ -336,6 +394,14 @@ class CompiledCircuit:
                 ``"auto"`` picks a chunk from :func:`auto_chunk_size` so
                 peak memory stays near ``AUTO_CHUNK_TARGET_BYTES``
                 regardless of ``num_nets * n``.
+            fold: Deduplicate repeated ``(previous, current)`` operand
+                transitions and simulate only the unique pairs (see
+                :mod:`repro.timing.fold`); results are bit-identical to
+                the unfolded run.  Silently bypassed whenever folding
+                cannot preserve semantics (fault hooks consume global
+                pattern indices; net stats and value-plane recording
+                aggregate with per-pattern multiplicity) or when the
+                stream barely repeats.
             _recorder: Internal -- a value-plane recorder (see
                 :mod:`repro.timing.replay`).  When set, arrival
                 computation is skipped (the recorder captures the masks
@@ -367,6 +433,23 @@ class CompiledCircuit:
         (n,) = lengths
         if n == 0:
             raise SimulationError("stimulus must contain at least 1 pattern")
+
+        if (
+            fold
+            and not self.fault_hooks
+            and not collect_net_stats
+            and _recorder is None
+        ):
+            from .fold import fold_stimulus, unfold_stream
+
+            plan = fold_stimulus(arrays, initial)
+            if plan.profitable:
+                folded = self.run(
+                    plan.folded,
+                    collect_bit_arrivals=collect_bit_arrivals,
+                    chunk_size=chunk_size,
+                )
+                return unfold_stream(folded, plan)
 
         if isinstance(chunk_size, str):
             if chunk_size != "auto":
@@ -466,7 +549,7 @@ class CompiledCircuit:
         start_index: int = -1,
         recorder=None,
     ):
-        """Simulate one chunk.
+        """Simulate one chunk through the configured kernel.
 
         ``carry_values`` holds every net's settled value at the end of
         the previous chunk (None for the first chunk, which instead
@@ -476,6 +559,247 @@ class CompiledCircuit:
         ``recorder``, when set, captures the value plane instead of
         computing arrivals.
         """
+        runner = (
+            self._run_chunk_percell
+            if self.kernel == "percell"
+            else self._run_chunk_soa
+        )
+        return runner(
+            arrays,
+            carry_values,
+            carry_held,
+            collect_bit_arrivals,
+            collect_net_stats,
+            drop_first,
+            start_index=start_index,
+            recorder=recorder,
+        )
+
+    def _run_chunk_soa(
+        self,
+        arrays: Dict[str, np.ndarray],
+        carry_values: Optional[np.ndarray],
+        carry_held: Dict[int, int],
+        collect_bit_arrivals: bool,
+        collect_net_stats: bool,
+        drop_first: bool,
+        start_index: int = -1,
+        recorder=None,
+    ):
+        """Levelized SoA chunk runner.
+
+        Holds dense ``(num_nets, n)`` value / may / transition (and,
+        unless recording, arrival) matrices and evaluates one
+        (level, opcode) bucket per batched kernel call; cells with
+        hooked outputs run through the scalar fallback after their
+        level's buckets so downstream buckets see the faulted rows.
+        """
+        fault_hooks = self.fault_hooks
+        netlist = self.netlist
+        plan = self.soa_value_plan()
+        n = next(iter(arrays.values())).shape[0]
+        num_nets = self.num_nets
+        inertial = self.mode == "inertial"
+        damping = self.technology.glitch_damping
+        lo = 1 if drop_first else 0
+        if recorder is not None:
+            recorder.begin(start_index + lo, lo)
+
+        V = np.zeros((num_nets, n), dtype=np.uint8)
+        V[CONST1] = 1
+        M = np.zeros((num_nets, n), dtype=bool)
+        T = np.zeros((num_nets, n))
+        A = None if recorder is not None else np.zeros((num_nets, n))
+
+        switched = np.zeros(n)
+        sig_sum = np.zeros(num_nets) if collect_net_stats else None
+        tog_sum = np.zeros(num_nets) if collect_net_stats else None
+        if collect_net_stats:
+            sig_sum[CONST1] = n
+        new_held: Dict[int, int] = {}
+
+        # Primary inputs: expand port words into per-net bit rows.
+        for name, port in netlist.input_ports.items():
+            bits = logic.unpack_bits(arrays[name], port.width)
+            for lane, net in enumerate(port.nets):
+                cur = bits[lane]
+                if net in fault_hooks:
+                    cur = np.asarray(
+                        fault_hooks[net](cur, start_index), dtype=np.uint8
+                    )
+                flags = logic.changed_matrix(
+                    cur,
+                    None if carry_values is None else carry_values[net],
+                )
+                V[net] = cur
+                M[net] = flags
+                T[net] = flags
+                if recorder is not None:
+                    recorder.net_may(net, flags)
+                if collect_net_stats:
+                    sig_sum[net] = cur.sum()
+                    tog_sum[net] = flags.sum()
+
+        group_enable_net = netlist.group_enables
+
+        for bucket_list, scalars in zip(plan.levels, plan.scalar_levels):
+            for bucket in bucket_list:
+                pins = bucket.pins
+                outs = bucket.outputs
+                in_vals = [V[pins[j]] for j in range(pins.shape[0])]
+                out_val = logic.eval_vector(bucket.opcode, in_vals)
+                changed = logic.changed_matrix(
+                    out_val,
+                    None if carry_values is None else carry_values[outs],
+                )
+                aux = logic.aux_masks(bucket.opcode, in_vals)
+                if inertial:
+                    out_may = changed
+                else:
+                    in_mays = [M[pins[j]] for j in range(pins.shape[0])]
+                    out_may = logic.may_vector(
+                        bucket.opcode, in_vals, in_mays, aux
+                    )
+                if recorder is None:
+                    in_arrs = [A[pins[j]] for j in range(pins.shape[0])]
+                    A[outs] = logic.arrival_masks(
+                        bucket.opcode,
+                        aux,
+                        in_arrs,
+                        bucket.delays[:, None],
+                        out_may,
+                    )
+                else:
+                    recorder.cell_bucket(
+                        bucket.positions, outs, out_may, aux
+                    )
+                V[outs] = out_val
+                M[outs] = out_may
+                in_trans = [T[pins[j]] for j in range(pins.shape[0])]
+                out_trans = logic.transition_vector(
+                    bucket.opcode, in_vals, in_trans, changed,
+                    damping=damping,
+                )
+                T[outs] = out_trans
+                # Reduce over the cell axis with an explicit sum (not a
+                # BLAS matvec): the pairwise accumulation then depends
+                # only on the bucket size, so chunked and unchunked runs
+                # produce bit-identical switched capacitance.
+                switched += (bucket.caps[:, None] * out_trans).sum(axis=0)
+                if collect_net_stats:
+                    sig_sum[outs] = out_val.sum(axis=1)
+                    tog_sum[outs] = changed.sum(axis=1)
+
+            for compiled in scalars:
+                ins = compiled.inputs
+                in_vals = [V[p] for p in ins]
+                out_val = logic.eval_vector(compiled.opcode, in_vals)
+                net = compiled.output
+                out_val = np.asarray(
+                    fault_hooks[net](out_val, start_index), dtype=np.uint8
+                )
+                changed = logic.changed_matrix(
+                    out_val,
+                    None if carry_values is None else carry_values[net],
+                )
+                aux = logic.aux_masks(compiled.opcode, in_vals)
+                if inertial:
+                    out_may = changed
+                else:
+                    out_may = logic.may_vector(
+                        compiled.opcode, in_vals, [M[p] for p in ins], aux
+                    )
+                if recorder is None:
+                    A[net] = logic.arrival_masks(
+                        compiled.opcode,
+                        aux,
+                        [A[p] for p in ins],
+                        compiled.delay_ns,
+                        out_may,
+                    )
+                else:
+                    recorder.cell(compiled.position, net, out_may, aux)
+                V[net] = out_val
+                M[net] = out_may
+                out_trans = logic.transition_vector(
+                    compiled.opcode,
+                    in_vals,
+                    [T[p] for p in ins],
+                    changed,
+                    damping=damping,
+                )
+                T[net] = out_trans
+                switched += out_trans * compiled.cap
+                if collect_net_stats:
+                    if (
+                        compiled.group is not None
+                        and compiled.group in group_enable_net
+                    ):
+                        enable = V[group_enable_net[compiled.group]]
+                        toggles, held_final = logic.tribuf_masked_toggles(
+                            out_val, enable, carry_held.get(net)
+                        )
+                        new_held[net] = held_final
+                        tog_sum[net] = toggles.sum()
+                    else:
+                        tog_sum[net] = changed.sum()
+                    sig_sum[net] = out_val.sum()
+
+        if collect_net_stats:
+            # Bucketed bypass-group cells: replace the functional toggle
+            # count with the tri-state-hold count (all values exist by
+            # now, so the fixup is order-independent).
+            for net, enable_net in plan.grouped:
+                toggles, held_final = logic.tribuf_masked_toggles(
+                    V[net], V[enable_net], carry_held.get(net)
+                )
+                new_held[net] = held_final
+                tog_sum[net] = toggles.sum()
+
+        final_values = V[:, -1].copy()
+        final_values[CONST0] = 0
+        final_values[CONST1] = 0
+
+        outputs: Dict[str, np.ndarray] = {}
+        bit_arrivals: Optional[Dict[str, np.ndarray]] = (
+            {} if collect_bit_arrivals else None
+        )
+        delays = np.zeros(n)
+        for name, port in netlist.output_ports.items():
+            nets = list(port.nets)
+            outputs[name] = logic.pack_bits(V[nets])[lo:]
+            if recorder is None:
+                port_arr = A[nets]
+                if collect_bit_arrivals:
+                    bit_arrivals[name] = port_arr[:, lo:]
+                delays = np.maximum(delays, port_arr.max(axis=0))
+            elif collect_bit_arrivals:
+                bit_arrivals[name] = np.zeros((port.width, n - lo))
+
+        reported = n - lo
+        result = StreamResult(
+            outputs=outputs,
+            delays=delays[lo:],
+            switched_caps=switched[lo:],
+            num_patterns=reported,
+            bit_arrivals=bit_arrivals,
+            signal_prob=(sig_sum / n) if collect_net_stats else None,
+            toggle_counts=tog_sum if collect_net_stats else None,
+        )
+        return result, final_values, new_held
+
+    def _run_chunk_percell(
+        self,
+        arrays: Dict[str, np.ndarray],
+        carry_values: Optional[np.ndarray],
+        carry_held: Dict[int, int],
+        collect_bit_arrivals: bool,
+        collect_net_stats: bool,
+        drop_first: bool,
+        start_index: int = -1,
+        recorder=None,
+    ):
+        """Reference per-cell chunk runner (the pre-SoA interpreter)."""
         fault_hooks = self.fault_hooks
         netlist = self.netlist
         n = next(iter(arrays.values())).shape[0]

@@ -353,6 +353,26 @@ def transition_vector(
     return np.maximum(out * damping, changed)
 
 
+def changed_matrix(
+    values: np.ndarray, carry: "Optional[np.ndarray | int]" = None
+) -> np.ndarray:
+    """One-step value-change flags along the last (pattern) axis.
+
+    ``carry`` supplies each row's value just before the first pattern
+    (scalar for a single stream, ``(B,)`` for a stacked bucket); None
+    marks a stream opening on its settling pattern, whose first flag is
+    False by construction.  Equivalent per element to the engine's
+    historical per-net ``changed_flags`` closure, for any batch shape.
+    """
+    flags = np.empty(values.shape, dtype=bool)
+    if carry is None:
+        flags[..., 0] = False
+    else:
+        flags[..., 0] = values[..., 0] != carry
+    flags[..., 1:] = values[..., 1:] != values[..., :-1]
+    return flags
+
+
 def pack_bits(bits: np.ndarray) -> np.ndarray:
     """Combine a ``(width, n)`` LSB-first bit matrix into uint64 words."""
     width, _ = bits.shape

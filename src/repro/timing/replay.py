@@ -52,6 +52,19 @@ def _aux_count(opcode: int, num_inputs: int) -> int:
     return 0
 
 
+#: Peak-memory target for the SoA replay's dense ``(num_nets, k, c)``
+#: per-chunk arrival matrix.
+REPLAY_CHUNK_TARGET_BYTES = 128 * 1024 * 1024
+
+
+def _replay_chunk_size(num_nets: int, k: int) -> int:
+    """Patterns per replay chunk: a multiple of 8 (byte-aligned plane
+    unpacking), at least 8, sized to the replay memory target."""
+    per_pattern = max(1, num_nets) * max(1, k) * 8
+    chunk = REPLAY_CHUNK_TARGET_BYTES // per_pattern
+    return max(8, chunk - chunk % 8)
+
+
 @dataclasses.dataclass
 class ValuePlane:
     """Delay-independent record of one stimulus through one circuit.
@@ -156,6 +169,21 @@ class _PlaneRecorder:
         offset = int(self.aux_offsets[position])
         for lane, mask in enumerate(aux):
             self._pack_into(self.aux[offset + lane], mask)
+
+    def cell_bucket(self, positions, nets, out_may, aux) -> None:
+        """Batched :meth:`cell` for one SoA bucket: ``out_may`` is
+        ``(B, n)`` and each aux mask ``(B, n)``; rows pack straight into
+        their byte ranges exactly like the scalar path."""
+        packed = np.packbits(out_may[:, self._lo:], axis=1)
+        width = packed.shape[1]
+        self.may[nets, self._byte:self._byte + width] = packed
+        if aux:
+            rows = self.aux_offsets[positions]
+            for lane, mask in enumerate(aux):
+                packed = np.packbits(mask[:, self._lo:], axis=1)
+                self.aux[rows + lane, self._byte:self._byte + width] = (
+                    packed
+                )
 
 
 def build_value_plane(
@@ -314,7 +342,130 @@ class ArrivalReplay:
             raise SimulationError("delay_scale entries must be positive")
         k = scales.shape[0]
         n = plane.num_patterns
+        if circuit.kernel != "percell":
+            delays, bit_arrivals = self._replay_soa(
+                scales, k, n, collect_bit_arrivals
+            )
+        else:
+            delays, bit_arrivals = self._replay_percell(
+                scales, k, n, collect_bit_arrivals
+            )
+        return ReplayResult(
+            plane=plane,
+            delay_scales=scales,
+            delays=delays,
+            bit_arrivals=bit_arrivals,
+        )
 
+    def _replay_soa(
+        self,
+        scales: np.ndarray,
+        k: int,
+        n: int,
+        collect_bit_arrivals: bool,
+    ):
+        """Bucketed sparse replay: every (level, opcode) bucket prices
+        all ``k`` corners at once, touching only *active* entries.
+
+        The chunk is laid out ``(num_nets, c, k)`` so a bucket's
+        ``(B, c)`` may-mask indexes (cell, pattern) entries directly:
+        arrivals are computed as a flat ``(nnz, k)`` workspace over the
+        entries whose output may change and scattered into the
+        pre-zeroed chunk.  Inactive entries are exactly the
+        ``where(may, .., 0.0)`` zeros of the reference kernel, so the
+        result stays bit-identical while arithmetic and memory traffic
+        scale with the active fraction (~1/3 on a bypass multiplier
+        under uniform operands, since bypassed columns sit quiet).
+
+        The pattern axis is chunked (multiples of 8, so the bit-packed
+        plane unpacks byte-aligned) to bound the dense
+        ``(num_nets, c, k)`` arrival matrix; replay carries no
+        cross-pattern state, so chunking is exact.
+        """
+        circuit = self.circuit
+        plane = self.plane
+        plan = circuit.soa_replay_plan()
+        num_nets = circuit.num_nets
+        chunk = _replay_chunk_size(num_nets, k)
+        delays = np.zeros((k, n))
+        ports = circuit.netlist.output_ports
+        bit_arrivals: Optional[Dict[str, np.ndarray]] = None
+        if collect_bit_arrivals:
+            bit_arrivals = {
+                name: np.zeros((port.width, k, n))
+                for name, port in ports.items()
+            }
+        arr = np.zeros((num_nets, min(chunk, n), k))
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            c = stop - start
+            sub = arr[:, :c, :]
+            if start:
+                sub[...] = 0.0  # quiet entries / input rails stay 0
+            byte0 = start // 8
+            byte1 = (stop + 7) // 8
+            for bucket_list in plan.levels:
+                for bucket in bucket_list:
+                    outs = bucket.outputs
+                    pins = bucket.pins
+                    may = np.unpackbits(
+                        plane.may_packed[outs, byte0:byte1],
+                        axis=1,
+                        count=c,
+                    ).view(bool)
+                    rows, cols = np.nonzero(may)
+                    if not rows.size:
+                        continue
+                    count = _aux_count(bucket.opcode, pins.shape[0])
+                    if count:
+                        aux_rows = plane.aux_offsets[bucket.positions]
+                        aux = tuple(
+                            np.unpackbits(
+                                plane.aux_packed[
+                                    aux_rows + lane, byte0:byte1
+                                ],
+                                axis=1,
+                                count=c,
+                            ).view(bool)[rows, cols]
+                            for lane in range(count)
+                        )
+                    else:
+                        aux = ()
+                    arrs = [
+                        sub[pins[j][rows], cols]
+                        for j in range(pins.shape[0])
+                    ]
+                    # fresh_delay_ns * scale per (cell, corner), exactly
+                    # the engine's per-cell delay at every corner.
+                    delay = (
+                        bucket.fresh_delays[:, None]
+                        * scales[:, bucket.cell_indices].T
+                    )
+                    out = _active_arrival(
+                        bucket.opcode, aux, arrs, delay[rows]
+                    )
+                    sub[outs[rows], cols] = out
+            for name, port in ports.items():
+                port_arr = sub[list(port.nets)]
+                if collect_bit_arrivals:
+                    bit_arrivals[name][:, :, start:stop] = (
+                        port_arr.transpose(0, 2, 1)
+                    )
+                delays[:, start:stop] = np.maximum(
+                    delays[:, start:stop], port_arr.max(axis=0).T
+                )
+        return delays, bit_arrivals
+
+    def _replay_percell(
+        self,
+        scales: np.ndarray,
+        k: int,
+        n: int,
+        collect_bit_arrivals: bool,
+    ):
+        """Reference per-cell replay (the pre-SoA interpreter)."""
+        circuit = self.circuit
+        plane = self.plane
         zeros_f = np.zeros(n)
         arrs: Dict[int, np.ndarray] = {CONST0: zeros_f, CONST1: zeros_f}
         for port in circuit.netlist.input_ports.values():
@@ -368,12 +519,7 @@ class ArrivalReplay:
                 bit_arrivals[name] = port_arr
             delays = np.maximum(delays, port_arr.max(axis=0))
 
-        return ReplayResult(
-            plane=plane,
-            delay_scales=scales,
-            delays=delays,
-            bit_arrivals=bit_arrivals,
-        )
+        return delays, bit_arrivals
 
     def stream(
         self,
@@ -392,6 +538,67 @@ class ArrivalReplay:
 def _cols(arr: np.ndarray, idx: np.ndarray) -> np.ndarray:
     """Pattern-axis gather that tolerates (n,) and (k, n) operands."""
     return arr[idx] if arr.ndim == 1 else arr[:, idx]
+
+
+def _active_arrival(opcode, aux, arrs, delay):
+    """Arrival kernel over flat *active* entries.
+
+    Operands are ``(nnz, k)`` arrays (one row per (cell, pattern) entry
+    whose output may change, all corners side by side) with ``(nnz,)``
+    aux masks.  Bit-identical to :func:`repro.timing.logic
+    .arrival_masks` restricted to those entries -- the elementwise
+    identities are the same ones :func:`_arrival_into` uses, minus the
+    quiet-zero pass (callers scatter into pre-zeroed storage, which IS
+    the ``where(may, .., 0.0)`` branch).
+    """
+    if opcode in (logic.OP_BUF, logic.OP_INV):
+        return arrs[0] + delay
+    if opcode in (logic.OP_XOR2, logic.OP_XNOR2):
+        out = np.maximum(arrs[0], arrs[1])
+        out += delay
+        return out
+    if (
+        logic.CONTROLLING_VALUE.get(opcode) is not None
+        and len(arrs) == 2
+    ):
+        c0, c1 = aux
+        a0, a1 = arrs
+        out = np.maximum(a0, a1)
+        both = np.nonzero(c0 & c1)[0]
+        if both.size:
+            out[both] = np.minimum(a0[both], a1[both])
+        only0 = np.nonzero(c0 & ~c1)[0]
+        if only0.size:
+            out[only0] = a0[only0]
+        only1 = np.nonzero(c1 & ~c0)[0]
+        if only1.size:
+            out[only1] = a1[only1]
+        out += delay
+        return out
+    if opcode == logic.OP_MUX2:
+        (sel,) = aux
+        out = arrs[0].copy()
+        chosen = np.nonzero(sel)[0]
+        if chosen.size:
+            out[chosen] = arrs[1][chosen]
+        np.maximum(out, arrs[2], out=out)
+        out += delay
+        return out
+    if opcode == logic.OP_TRIBUF:
+        (enabled,) = aux
+        out = arrs[0].copy()
+        disabled = np.nonzero(~enabled)[0]
+        if disabled.size:
+            out[disabled] = 0.0
+        np.maximum(out, arrs[1], out=out)
+        out += delay
+        return out
+    # Rare shapes (3-input controlled gates): generic reference kernel
+    # with an all-True may -- every row here is active by construction.
+    out_may = np.ones(arrs[0].shape, dtype=bool)
+    return logic.arrival_masks(
+        opcode, tuple(a[:, None] for a in aux), arrs, delay, out_may
+    )
 
 
 def _arrival_into(opcode, aux, arrs, delay, out_may, alloc, pool, zeros_f):

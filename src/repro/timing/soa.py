@@ -1,0 +1,184 @@
+"""Levelized structure-of-arrays (SoA) execution plan.
+
+The per-cell stream loop in :mod:`repro.timing.engine` pays a fixed
+Python + numpy-dispatch cost per *cell*; for a 16x16 bypassing array
+that is thousands of tiny allocations per chunk.  This module compiles
+the levelized cell list into a **bucketed SoA plan** evaluated a whole
+(level, opcode) bucket at a time:
+
+* cells are grouped into topological **levels** (a cell's level is one
+  more than the deepest level among its driver cells; primary inputs
+  and constant rails sit below level 0), so every bucket's inputs were
+  fully produced by earlier levels and all cells inside a bucket are
+  independent;
+* within a level, cells are **bucketed by opcode** into flat index
+  arrays -- a ``(num_pins, B)`` input-net gather matrix, a ``(B,)``
+  output-net scatter vector, and per-cell delay / capacitance / cell-
+  index columns -- so one batched ``gather -> logic kernel -> scatter``
+  evaluates all ``B`` cells against a single ``(num_nets, num_words)``
+  value matrix.
+
+All cells sharing an opcode have the same pin count (opcodes encode the
+cell arity), which is what makes the rectangular gather matrix valid.
+
+**Hook fallback rule**: a cell whose *output* net carries a fault hook
+falls out of its bucket into a per-level scalar list; the engine runs
+those cells through the original per-cell path (hooks are opaque
+callables operating on one net's stream), interleaved at the right
+level so downstream buckets observe the faulted values.  Input-port
+hooks need no fallback -- they rewrite the port rows before any bucket
+runs.  Arrival *replay* ignores hooks entirely (the recorded plane
+already contains the faulted masks), so replay uses the plan built with
+an empty hook set.
+
+Bucket evaluation reuses the exact elementwise kernels of
+:mod:`repro.timing.logic` on stacked ``(B, n)`` rows, so every per-cell
+float/int op sequence is identical to the scalar path -- bucketing
+changes the iteration order, not the arithmetic.  (The only aggregate
+that sums *across* cells, switched capacitance, is accumulated
+per-bucket and may therefore differ from the per-cell path by float
+association; everything per-net/per-pattern is bit-identical.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["LevelBucket", "SoAPlan", "build_soa_plan"]
+
+
+@dataclasses.dataclass
+class LevelBucket:
+    """All same-opcode cells of one topological level.
+
+    Attributes:
+        opcode: The shared cell opcode.
+        positions: ``(B,)`` levelized cell positions (aux-offset axis).
+        pins: ``(num_pins, B)`` input-net gather indices.
+        outputs: ``(B,)`` output-net scatter indices (each net has one
+            driver, so scatters never collide).
+        cell_indices: ``(B,)`` netlist cell indices (delay-scale axis).
+        fresh_delays: ``(B,)`` unscaled cell delays (ns).
+        delays: ``(B,)`` compiled (delay-scaled) cell delays (ns).
+        caps: ``(B,)`` per-cell load capacitances.
+    """
+
+    opcode: int
+    positions: np.ndarray
+    pins: np.ndarray
+    outputs: np.ndarray
+    cell_indices: np.ndarray
+    fresh_delays: np.ndarray
+    delays: np.ndarray
+    caps: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.outputs.shape[0])
+
+
+@dataclasses.dataclass
+class SoAPlan:
+    """Bucketed levels plus the scalar-fallback cells per level.
+
+    ``levels[d]`` holds the opcode buckets of level ``d`` (insertion
+    order: first-seen opcode first, cells inside a bucket in levelized
+    order); ``scalar_levels[d]`` the hooked-output cells evaluated
+    through the per-cell path after the level's buckets.  ``grouped``
+    lists ``(output net, enable net)`` pairs of bucketed bypass-group
+    cells, for the tri-state-hold toggle fixup (scalar cells handle
+    their own group stats inline, exactly like the per-cell path).
+    """
+
+    levels: List[List[LevelBucket]]
+    scalar_levels: List[List]
+    grouped: List[Tuple[int, int]]
+    num_levels: int
+    num_bucketed: int
+    num_scalar: int
+
+
+def build_soa_plan(cells, netlist, hooked_nets) -> SoAPlan:
+    """Compile levelized ``_CompiledCell`` s into an :class:`SoAPlan`.
+
+    Args:
+        cells: The circuit's levelized compiled cells (topological
+            order -- every driver precedes its consumers).
+        netlist: The owning netlist (supplies bypass-group enables).
+        hooked_nets: Net ids carrying fault hooks; cells driving one of
+            them become scalar-fallback cells.
+    """
+    level_of_net: Dict[int, int] = {}
+    cell_levels = []
+    num_levels = 0
+    for compiled in cells:
+        level = 0
+        for pin in compiled.inputs:
+            depth = level_of_net.get(pin, -1)
+            if depth >= level:
+                level = depth + 1
+        level_of_net[compiled.output] = level
+        cell_levels.append(level)
+        if level + 1 > num_levels:
+            num_levels = level + 1
+
+    buckets: List[Dict[int, List]] = [{} for _ in range(num_levels)]
+    scalar_levels: List[List] = [[] for _ in range(num_levels)]
+    grouped: List[Tuple[int, int]] = []
+    group_enable = netlist.group_enables
+    num_scalar = 0
+    for compiled, level in zip(cells, cell_levels):
+        if compiled.output in hooked_nets:
+            scalar_levels[level].append(compiled)
+            num_scalar += 1
+            continue
+        buckets[level].setdefault(compiled.opcode, []).append(compiled)
+        if compiled.group is not None and compiled.group in group_enable:
+            grouped.append(
+                (compiled.output, group_enable[compiled.group])
+            )
+
+    levels: List[List[LevelBucket]] = []
+    for per_opcode in buckets:
+        packed = []
+        for opcode, members in per_opcode.items():
+            pins = np.array(
+                [c.inputs for c in members], dtype=np.intp
+            ).T.copy()
+            packed.append(
+                LevelBucket(
+                    opcode=opcode,
+                    positions=np.array(
+                        [c.position for c in members], dtype=np.intp
+                    ),
+                    pins=pins,
+                    outputs=np.array(
+                        [c.output for c in members], dtype=np.intp
+                    ),
+                    cell_indices=np.array(
+                        [c.index for c in members], dtype=np.intp
+                    ),
+                    fresh_delays=np.array(
+                        [c.fresh_delay_ns for c in members], dtype=float
+                    ),
+                    delays=np.array(
+                        [c.delay_ns for c in members], dtype=float
+                    ),
+                    caps=np.array(
+                        [c.cap for c in members], dtype=float
+                    ),
+                )
+            )
+        levels.append(packed)
+
+    return SoAPlan(
+        levels=levels,
+        scalar_levels=scalar_levels,
+        grouped=grouped,
+        num_levels=num_levels,
+        num_bucketed=len(cells) - num_scalar,
+        num_scalar=num_scalar,
+    )

@@ -40,8 +40,12 @@ from .replay import ValuePlane, build_value_plane
 
 #: Format tag embedded in every cache entry.
 FORMAT = "repro-value-plane"
-#: Current plane cache schema version.
-VERSION = 1
+#: Current plane cache schema version.  Version 2: planes are produced
+#: by the levelized SoA kernel, whose cross-cell switched-capacitance
+#: accumulation order differs from the version-1 per-cell interpreter
+#: (same values to float association); keying the version keeps the two
+#: provenances from mixing through the on-disk cache.
+VERSION = 2
 
 #: Environment variable naming a default on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_VALUE_PLANE_DIR"

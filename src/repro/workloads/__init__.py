@@ -8,7 +8,12 @@ from .generators import (
     walking_ones,
     zero_weighted_operands,
 )
-from .dsp import dct_stream, fir_filter_stream, image_gradient_stream
+from .dsp import (
+    dct_stream,
+    fir_filter_stream,
+    image_gradient_stream,
+    sparse_fir_stream,
+)
 from .markov import (
     bit_markov_stream,
     correlated_operands,
@@ -26,6 +31,7 @@ __all__ = [
     "fir_filter_stream",
     "image_gradient_stream",
     "operands_with_zero_count",
+    "sparse_fir_stream",
     "uniform_operands",
     "walking_ones",
     "zero_weighted_operands",

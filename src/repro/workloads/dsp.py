@@ -74,6 +74,60 @@ def fir_filter_stream(
     return md, mr
 
 
+def sparse_fir_stream(
+    width: int,
+    num_patterns: int,
+    num_taps: int = 16,
+    seed: int = 1,
+    sparsity: float = 0.85,
+    levels: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """FIR operand stream over a mostly-silent, coarsely-held signal.
+
+    Real filtering workloads (voice activity gaps, pause frames, DC
+    image regions) spend most cycles multiplying the same few operand
+    pairs: the coefficient vector cycles while the sample is zero or
+    held at one of a few quantized levels.  ``sparsity`` is the
+    fraction of *sample* positions that are exactly zero; non-zero
+    samples snap to ``levels`` coarse magnitudes and are held for short
+    runs.  The resulting ``(md, mr)`` transition stream repeats
+    heavily, which is what unique-stimulus folding
+    (:func:`repro.timing.fold.fold_stimulus`) exploits.
+    """
+    _check(width, num_patterns)
+    if num_taps < 1:
+        raise WorkloadError("num_taps must be >= 1")
+    if not 0.0 <= sparsity < 1.0:
+        raise WorkloadError("sparsity must lie in [0, 1)")
+    if levels < 1:
+        raise WorkloadError("levels must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    n = np.arange(num_taps)
+    centred = n - (num_taps - 1) / 2.0
+    taps = np.sinc(centred / 3.0) * np.hamming(num_taps)
+    taps /= np.abs(taps).max()
+    coefficients = _quantize(taps, width)
+
+    # Sample track: zero-runs interleaved with short holds at one of a
+    # few coarse levels (a step-wise envelope, not fresh noise).
+    num_samples = num_patterns + num_taps
+    magnitudes = np.linspace(1.0 / levels, 1.0, levels)
+    samples = np.zeros(num_samples)
+    pos = 0
+    while pos < num_samples:
+        run = int(rng.integers(2, 3 * num_taps))
+        if rng.random() >= sparsity:
+            samples[pos:pos + run] = rng.choice(magnitudes)
+        pos += run
+    quantized = _quantize(samples, width)
+
+    md = coefficients[np.arange(num_patterns) % num_taps]
+    k = np.arange(num_patterns)
+    mr = quantized[k // num_taps + (k % num_taps)]
+    return md.astype(np.uint64), mr.astype(np.uint64)
+
+
 def dct_stream(
     width: int,
     num_patterns: int,
