@@ -75,6 +75,30 @@ def aging_delay_scale(
     return pmos_fraction * scale_p + (1.0 - pmos_fraction) * scale_n
 
 
+def characterization_stimulus(
+    input_ports: Dict[str, "object"],
+    num_patterns: int,
+    seed: int,
+) -> Dict[str, np.ndarray]:
+    """The random characterization workload for a set of input ports.
+
+    Ports up to 63 bits draw uniformly from ``[0, 2**width)``.  Wider
+    ports draw the full uint64 range ``[0, 2**64)`` -- every simulated
+    bit lane toggles.  (Drawing from ``[0, 2**63)``, as an earlier
+    revision did, never exercises bit 63, which biases the measured
+    signal probabilities -- and hence the BTI stress -- of everything
+    fed by the top operand bit.)
+    """
+    rng = np.random.default_rng(seed)
+    stimulus = {}
+    for name, port in input_ports.items():
+        high = (1 << port.width) if port.width < 64 else (1 << 64)
+        stimulus[name] = rng.integers(
+            0, high, num_patterns, dtype=np.uint64
+        )
+    return stimulus
+
+
 @dataclasses.dataclass
 class AgedCircuitFactory:
     """Produces compiled circuits for any point in a design's lifetime.
@@ -110,18 +134,36 @@ class AgedCircuitFactory:
         stimulus: Optional[Dict[str, np.ndarray]] = None,
     ) -> "AgedCircuitFactory":
         """Measure stress on a random (or supplied) workload."""
+        stress = cls.characterize_stress(
+            netlist,
+            technology,
+            num_patterns=num_patterns,
+            seed=seed,
+            stimulus=stimulus,
+        )
+        return cls(netlist, stress, technology)
+
+    @staticmethod
+    def characterize_stress(
+        netlist: Netlist,
+        technology: Technology = DEFAULT_TECHNOLOGY,
+        num_patterns: int = 2000,
+        seed: int = 2014,
+        stimulus: Optional[Dict[str, np.ndarray]] = None,
+    ) -> StressProfile:
+        """Just the characterization measurement, without building a
+        factory -- what persistent stores cache and restore."""
         circuit = CompiledCircuit(netlist, technology)
         if stimulus is None:
-            rng = np.random.default_rng(seed)
-            stimulus = {}
-            for name, port in netlist.input_ports.items():
-                high = 1 << port.width if port.width < 64 else (1 << 63)
-                stimulus[name] = rng.integers(
-                    0, high, num_patterns, dtype=np.uint64
-                )
+            stimulus = characterization_stimulus(
+                netlist.input_ports, num_patterns, seed
+            )
         result = circuit.run(stimulus, collect_net_stats=True)
-        stress = extract_stress(netlist, result.signal_prob)
-        return cls(netlist, stress, technology)
+        return extract_stress(netlist, result.signal_prob)
+
+    def use_plane_cache(self, cache: ValuePlaneCache) -> None:
+        """Swap in a shared (e.g. store-backed, on-disk) plane cache."""
+        self._planes = cache
 
     def delay_scale(self, years: float) -> np.ndarray:
         """Per-cell delay factors after ``years``."""
@@ -191,6 +233,31 @@ class AgedCircuitFactory:
         years = list(years)
         if not years:
             return []
+        return self.replay_scales(
+            self.lifetime_delay_scales(years),
+            stimulus,
+            collect_bit_arrivals=collect_bit_arrivals,
+            collect_net_stats=collect_net_stats,
+            fold=fold,
+        )
+
+    def replay_scales(
+        self,
+        scales: np.ndarray,
+        stimulus: Dict[str, np.ndarray],
+        collect_bit_arrivals: bool = False,
+        collect_net_stats: bool = False,
+        fold: bool = True,
+    ) -> "List[StreamResult]":
+        """Stream results for arbitrary ``(k, num_cells)`` delay-scale
+        rows -- aging timesteps, EM-compounded corners, variation dies --
+        through one shared (cached) value pass.  Each row's result is
+        bit-identical to ``CompiledCircuit(netlist, technology,
+        row).run(stimulus, ...)`` (a row of ones matches the fresh
+        circuit)."""
+        scales = np.atleast_2d(np.asarray(scales, dtype=float))
+        if scales.shape[0] == 0:
+            return []
         plan = None
         if (
             fold
@@ -204,19 +271,19 @@ class AgedCircuitFactory:
             plane = self.value_plane(plan.folded)
             replayer = ArrivalReplay(self.circuit(0.0), plane)
             result = replayer.replay(
-                self.lifetime_delay_scales(years),
+                scales,
                 collect_bit_arrivals=collect_bit_arrivals,
             )
             return [
                 unfold_stream(result.stream_result(j), plan)
-                for j in range(len(years))
+                for j in range(scales.shape[0])
             ]
         plane = self.value_plane(
             stimulus, collect_net_stats=collect_net_stats
         )
         replayer = ArrivalReplay(self.circuit(0.0), plane)
         result = replayer.replay(
-            self.lifetime_delay_scales(years),
+            scales,
             collect_bit_arrivals=collect_bit_arrivals,
         )
         return result.stream_results()

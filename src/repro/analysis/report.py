@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import dataclasses
 import io
-import time
 from typing import Dict, List, Optional
 
 from ..errors import SimulationError
@@ -35,6 +34,12 @@ class ReproductionReport:
     sections: List = dataclasses.field(default_factory=list)
     claims: List[ClaimCheck] = dataclasses.field(default_factory=list)
     timings: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Optional generation stamp.  Off by default so that two runs of
+    #: the same experiments render byte-identical reports (the suite
+    #: scheduler's serial-vs-parallel identity check depends on it);
+    #: set it explicitly (e.g. ``time.strftime("%Y-%m-%d %H:%M:%S")``)
+    #: to record when a report was produced.
+    generated_at: Optional[str] = None
 
     def add_section(self, name: str, body: str, elapsed: Optional[float] = None):
         """Attach one experiment's rendered output."""
@@ -56,9 +61,8 @@ class ReproductionReport:
     def render(self) -> str:
         out = io.StringIO()
         out.write("# %s\n\n" % self.title)
-        out.write(
-            "Generated %s.\n\n" % time.strftime("%Y-%m-%d %H:%M:%S")
-        )
+        if self.generated_at:
+            out.write("Generated %s.\n\n" % self.generated_at)
         if self.claims:
             out.write("## Claim checklist (%d/%d hold)\n\n"
                       % (self.claims_held, len(self.claims)))

@@ -22,7 +22,7 @@ from ..arith.row_bypass import row_bypass_multiplier
 from ..config import DEFAULT_TECHNOLOGY, Technology
 from ..errors import ConfigError
 from ..nets.netlist import Netlist
-from ..timing.sta import StaticTiming
+from ..timing.sta import StaticTiming, critical_delays
 
 #: Multiplier generators by kind keyword.
 GENERATORS = {
@@ -85,6 +85,27 @@ class FixedLatencyDesign:
             sta = StaticTiming(self.netlist, self.technology, scale)
             self._latency_cache[key] = sta.critical_delay
         return self._latency_cache[key]
+
+    def latencies_ns(self, years) -> "list[float]":
+        """Aged critical paths for many years in one vectorized STA
+        sweep (:func:`~repro.timing.sta.critical_delays`) -- each entry
+        bit-identical to :meth:`latency_ns`, and cached under the same
+        keys, so lifetime sweeps pay one topological pass instead of
+        one per year."""
+        missing = [
+            float(year)
+            for year in years
+            if float(year) not in self._latency_cache
+        ]
+        if missing:
+            delays = critical_delays(
+                self.netlist,
+                self.technology,
+                self.factory.lifetime_delay_scales(missing),
+            )
+            for year, delay in zip(missing, delays):
+                self._latency_cache[year] = float(delay)
+        return [self._latency_cache[float(year)] for year in years]
 
     def run_stream(
         self,

@@ -20,16 +20,26 @@ from .context import ExperimentContext
 from .registry import (
     REGISTRY,
     ExperimentSpec,
+    Resources,
     get_experiment,
     list_experiments,
     run_experiment,
 )
+from .scheduler import SuiteEntry, SuitePlan, SuiteResult, plan_suite, run_suite
+from .store import ArtifactStore
 
 __all__ = [
+    "ArtifactStore",
     "ExperimentContext",
     "ExperimentSpec",
     "REGISTRY",
+    "Resources",
+    "SuiteEntry",
+    "SuitePlan",
+    "SuiteResult",
     "get_experiment",
     "list_experiments",
+    "plan_suite",
     "run_experiment",
+    "run_suite",
 ]

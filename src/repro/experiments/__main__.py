@@ -2,21 +2,35 @@
 
 Usage::
 
-    python -m repro.experiments                # list experiments
-    python -m repro.experiments --tag paper    # list a tag's experiments
-    python -m repro.experiments fig05          # run one
-    python -m repro.experiments all            # run everything
-    python -m repro.experiments all --scale .1 # quick pass (10% patterns)
+    python -m repro.experiments                 # list experiments
+    python -m repro.experiments --tag paper     # list a tag's experiments
+    python -m repro.experiments fig05           # run one
+    python -m repro.experiments fig05,fig07     # run a few
+    python -m repro.experiments all             # run everything
+    python -m repro.experiments all --scale .1  # quick pass (10% patterns)
+    python -m repro.experiments all --jobs 4    # parallel suite run
+    python -m repro.experiments all --store .repro-store   # persistent
+    python -m repro.experiments all --store .repro-store --cold
+
+``--jobs N`` fans the suite out over N worker processes after a warm-up
+stage characterizes each shared design exactly once; rendered outputs
+are byte-identical to the serial run.  ``--store PATH`` persists
+netlists / stress profiles / stream results across invocations, so a
+warm re-run touches almost no simulation; ``--cold`` clears the store
+first.  Exit status: 0 on success, 2 on configuration errors (unknown
+experiment ids come with a did-you-mean suggestion).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 
-from .context import ExperimentContext
-from .registry import list_experiments, run_experiment
+from ..errors import ReproError
+from .scheduler import run_suite
+from .registry import get_experiment, list_experiments
+from .store import ArtifactStore
 
 
 def main(argv=None) -> int:
@@ -27,7 +41,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help="experiment id (see DESIGN.md) or 'all'",
+        help="experiment id (see DESIGN.md), comma-separated ids,"
+        " or 'all'",
     )
     parser.add_argument(
         "--scale",
@@ -45,6 +60,30 @@ def main(argv=None) -> int:
         help="restrict the listing / 'all' run to one tag "
         "(e.g. paper, extension)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial; >1 shares a store)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persistent artifact store directory (created on demand);"
+        " warm re-runs skip cached netlists/stress/streams",
+    )
+    parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="clear the --store directory before running",
+    )
+    parser.add_argument(
+        "--dump-rendered",
+        metavar="PATH",
+        help="write a JSON map of experiment id -> rendered output"
+        " (the byte-identity surface for serial-vs-parallel checks)",
+    )
     args = parser.parse_args(argv)
 
     if not args.experiment:
@@ -56,12 +95,51 @@ def main(argv=None) -> int:
             )
         return 0
 
-    context = ExperimentContext(scale=args.scale)
+    try:
+        return _run(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+def _run(args) -> int:
     if args.experiment == "all":
-        names = [spec.id for spec in list_experiments(tag=args.tag)]
+        names = None
     else:
-        names = [args.experiment]
-    report = None
+        names = [
+            name for name in args.experiment.split(",") if name
+        ]
+        for name in names:
+            get_experiment(name)  # fail fast with did-you-mean
+    store = None
+    if args.store:
+        store = ArtifactStore(args.store)
+        if args.cold:
+            store.clear()
+
+    def emit(entry):
+        print("=" * 72)
+        print("%s  (%.1f s)" % (entry.name, entry.elapsed))
+        print("=" * 72)
+        print(entry.rendered)
+        print()
+
+    suite = run_suite(
+        names=names,
+        tag=args.tag if args.experiment == "all" else None,
+        scale=args.scale,
+        jobs=args.jobs,
+        store=store,
+        on_result=emit,
+    )
+    print(suite.render())
+
+    if args.dump_rendered:
+        with open(args.dump_rendered, "w", encoding="utf-8") as fp:
+            json.dump(
+                suite.rendered_by_name(), fp, indent=2, sort_keys=True
+            )
+        print("rendered outputs written to %s" % args.dump_rendered)
     if args.report:
         from ..analysis.report import ReproductionReport
 
@@ -69,18 +147,9 @@ def main(argv=None) -> int:
             title="Aging-aware multiplier reproduction (scale %.2f)"
             % args.scale
         )
-    for name in names:
-        start = time.time()
-        result = run_experiment(name, context)
-        elapsed = time.time() - start
-        print("=" * 72)
-        print("%s  (%.1f s)" % (name, elapsed))
-        print("=" * 72)
-        print(result.render())
-        print()
-        if report is not None:
-            report.add_section(name, result.render(), elapsed)
-    if report is not None:
+        for entry in suite.entries:
+            report.add_section(entry.name, entry.rendered, entry.elapsed)
+        report.add_section("suite accounting", suite.render())
         report.write(args.report)
         print("report written to %s" % args.report)
     return 0

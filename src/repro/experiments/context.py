@@ -37,10 +37,15 @@ from ..core.baselines import FixedLatencyDesign, build_multiplier
 from ..errors import ConfigError
 from ..nets.netlist import Netlist
 from ..timing.engine import StreamResult
+from ..timing.value_cache import ValuePlaneCache, netlist_fingerprint
 from ..workloads.generators import uniform_operands
+from .store import ArtifactStore, technology_fingerprint
 
 #: Seed offset so experiment streams differ from characterization streams.
 STREAM_SEED_BASE = 77_000
+
+#: Seed the characterization workload uses (AgedCircuitFactory default).
+CHARACTERIZE_SEED = 2014
 
 
 @dataclasses.dataclass
@@ -52,6 +57,12 @@ class ExperimentContext:
     #: Global pattern-count multiplier (1.0 = the paper's counts).
     scale: float = 1.0
     characterize_patterns: int = 2000
+    #: Optional persistent :class:`~repro.experiments.store
+    #: .ArtifactStore`.  When set, netlists / stress profiles / stream
+    #: results are looked up there before being computed, every fresh
+    #: computation is persisted, and factories cache value planes under
+    #: the store directory -- a warm re-run touches almost no simulation.
+    store: Optional[ArtifactStore] = None
 
     def __post_init__(self):
         if self.scale <= 0:
@@ -60,6 +71,52 @@ class ExperimentContext:
         self._factories: Dict[Tuple[int, str], AgedCircuitFactory] = {}
         self._streams: Dict[Tuple[int, int, int], Tuple[np.ndarray, np.ndarray]] = {}
         self._runs: Dict[Tuple[int, str, float, int, int], StreamResult] = {}
+        self._fixed: Dict[Tuple[int, str], FixedLatencyDesign] = {}
+        self._tech_fp: Optional[str] = None
+        self._netlist_fps: Dict[Tuple[int, str], str] = {}
+
+    # -- store keys ----------------------------------------------------
+
+    def _technology_fp(self) -> str:
+        if self._tech_fp is None:
+            self._tech_fp = technology_fingerprint(self.technology)
+        return self._tech_fp
+
+    def _netlist_fp(self, width: int, kind: str) -> str:
+        key = (width, kind)
+        if key not in self._netlist_fps:
+            self._netlist_fps[key] = netlist_fingerprint(
+                self.netlist(width, kind)
+            )
+        return self._netlist_fps[key]
+
+    def _stress_key(self, width: int, kind: str) -> Dict:
+        return {
+            "netlist": self._netlist_fp(width, kind),
+            "technology": self._technology_fp(),
+            "num_patterns": self.characterize_patterns,
+            "seed": CHARACTERIZE_SEED,
+        }
+
+    def _stream_key(
+        self,
+        width: int,
+        kind: str,
+        years: float,
+        num_patterns: int,
+        seed: int,
+        collect_net_stats: bool,
+    ) -> Dict:
+        key = self._stress_key(width, kind)
+        key.update(
+            {
+                "years": float(years),
+                "stream_seed": STREAM_SEED_BASE + seed,
+                "stream_patterns": num_patterns,
+                "net_stats": bool(collect_net_stats),
+            }
+        )
+        return key
 
     # ------------------------------------------------------------------
 
@@ -70,25 +127,58 @@ class ExperimentContext:
     def netlist(self, width: int, kind: str) -> Netlist:
         key = (width, kind)
         if key not in self._netlists:
-            self._netlists[key] = build_multiplier(width, kind)
+            if self.store is not None:
+                self._netlists[key] = self.store.get_or_build(
+                    "netlist",
+                    {"width": width, "kind": kind},
+                    lambda: build_multiplier(width, kind),
+                )
+            else:
+                self._netlists[key] = build_multiplier(width, kind)
         return self._netlists[key]
 
     def factory(self, width: int, kind: str) -> AgedCircuitFactory:
         key = (width, kind)
         if key not in self._factories:
-            self._factories[key] = AgedCircuitFactory.characterize(
-                self.netlist(width, kind),
-                self.technology,
-                num_patterns=self.characterize_patterns,
-            )
+            netlist = self.netlist(width, kind)
+            if self.store is not None:
+                stress = self.store.get_or_build(
+                    "stress",
+                    self._stress_key(width, kind),
+                    lambda: AgedCircuitFactory.characterize_stress(
+                        netlist,
+                        self.technology,
+                        num_patterns=self.characterize_patterns,
+                        seed=CHARACTERIZE_SEED,
+                    ),
+                )
+                factory = AgedCircuitFactory(
+                    netlist, stress, self.technology
+                )
+                factory.use_plane_cache(
+                    ValuePlaneCache(directory=self.store.planes_dir())
+                )
+            else:
+                factory = AgedCircuitFactory.characterize(
+                    netlist,
+                    self.technology,
+                    num_patterns=self.characterize_patterns,
+                    seed=CHARACTERIZE_SEED,
+                )
+            self._factories[key] = factory
         return self._factories[key]
 
     def fixed_design(self, width: int, kind: str) -> FixedLatencyDesign:
-        return FixedLatencyDesign(
-            self.netlist(width, kind),
-            self.factory(width, kind),
-            self.technology,
-        )
+        """The fixed-latency baseline (memoized, so its per-year static
+        timing cache is shared by every experiment in a suite run)."""
+        key = (width, kind)
+        if key not in self._fixed:
+            self._fixed[key] = FixedLatencyDesign(
+                self.netlist(width, kind),
+                self.factory(width, kind),
+                self.technology,
+            )
+        return self._fixed[key]
 
     def variable_design(
         self,
@@ -172,6 +262,21 @@ class ExperimentContext:
             ):
                 if key not in missing:
                     missing.append(key)
+        if missing and self.store is not None:
+            still_missing = []
+            for key in missing:
+                stored = self.store.load(
+                    "stream",
+                    self._stream_key(
+                        width, kind, key[2], num_patterns, seed,
+                        collect_net_stats,
+                    ),
+                )
+                if stored is None:
+                    still_missing.append(key)
+                else:
+                    self._runs[key] = stored
+            missing = still_missing
         if missing:
             md, mr = self.stream(width, num_patterns, seed)
             fresh = self.factory(width, kind).stream_results(
@@ -181,6 +286,15 @@ class ExperimentContext:
             )
             for key, result in zip(missing, fresh):
                 self._runs[key] = result
+                if self.store is not None:
+                    self.store.save(
+                        "stream",
+                        self._stream_key(
+                            width, kind, key[2], num_patterns, seed,
+                            collect_net_stats,
+                        ),
+                        result,
+                    )
         return [self._runs[key] for key in keys]
 
     def clear(self) -> None:
@@ -189,6 +303,7 @@ class ExperimentContext:
         self._factories.clear()
         self._streams.clear()
         self._runs.clear()
+        self._fixed.clear()
 
 
 #: Module-level default context shared by ad-hoc callers.

@@ -23,6 +23,9 @@ does both measurements for the reproduction:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
+import os
 from typing import Dict, Optional
 
 from ..analysis.tables import format_table
@@ -141,6 +144,19 @@ def run(
         seed=seed,
         years=years,
     )
+    if checkpoint is None and ctx.store is not None:
+        # Persist the campaign under the experiment store, keyed by the
+        # campaign fingerprint so a changed configuration gets a fresh
+        # file instead of a CheckpointError: a warm suite run resumes
+        # every site and simulates nothing.
+        digest = hashlib.sha256(
+            json.dumps(
+                campaign.fingerprint(), sort_keys=True, default=str
+            ).encode()
+        ).hexdigest()
+        checkpoint = os.path.join(
+            ctx.store.campaigns_dir(), "ext_faults-%s.jsonl" % digest[:24]
+        )
     campaign_result = campaign.run(
         workers=workers, checkpoint=checkpoint, prune=prune
     )

@@ -130,6 +130,10 @@ def run(
             aged_streams = dict(
                 zip(years, ctx.stream_results(width, kind, years, n))
             )
+        else:
+            # Prefetch every year's critical path in one vectorized
+            # STA sweep (fills the design's per-year latency cache).
+            ctx.fixed_design(width, kind).latencies_ns(years)
         for year in years:
             dvth = factory.mean_delta_vth(year)
             if adaptive:

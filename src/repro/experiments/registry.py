@@ -49,6 +49,62 @@ KNOWN_TAGS = ("paper", "extension", "faults", "aging", "workloads")
 
 
 @dataclasses.dataclass(frozen=True)
+class Resources:
+    """Declared shared-state needs of one experiment.
+
+    What used to be implicit in each experiment module -- which
+    ``(width, kind)`` designs it characterizes, which netlists it merely
+    builds, which operand-stream widths it draws -- becomes an explicit
+    declaration on the spec, so the suite scheduler
+    (:mod:`repro.experiments.scheduler`) can group the expensive shared
+    characterization into a warm-up stage that runs each design exactly
+    once, before independent experiments fan out over worker processes.
+
+    Attributes:
+        designs: ``(width, kind)`` pairs whose characterized
+            :class:`~repro.aging.AgedCircuitFactory` the experiment
+            touches (the expensive resource: implies the netlist too).
+        netlists: ``(width, kind)`` pairs needing only the generated
+            netlist (e.g. area accounting).
+        streams: Operand-stream widths the experiment draws via
+            ``context.stream`` (cheap; declared for completeness).
+    """
+
+    designs: Tuple[Tuple[int, str], ...] = ()
+    netlists: Tuple[Tuple[int, str], ...] = ()
+    streams: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        for width, kind in tuple(self.designs) + tuple(self.netlists):
+            if not (isinstance(width, int) and width > 0):
+                raise ConfigError(
+                    "resource width must be a positive int, got %r"
+                    % (width,)
+                )
+            if not isinstance(kind, str):
+                raise ConfigError(
+                    "resource kind must be a string, got %r" % (kind,)
+                )
+
+    def all_netlists(self) -> Tuple[Tuple[int, str], ...]:
+        """Every netlist implied (designs' plus netlist-only), deduped
+        in declaration order."""
+        seen = []
+        for pair in tuple(self.designs) + tuple(self.netlists):
+            if pair not in seen:
+                seen.append(pair)
+        return tuple(seen)
+
+
+def _designs(*pairs) -> Tuple[Tuple[int, str], ...]:
+    return tuple((int(w), str(k)) for w, k in pairs)
+
+
+def _all_kinds(width: int) -> Tuple[Tuple[int, str], ...]:
+    return _designs(*((width, kind) for kind in ("am", "column", "row")))
+
+
+@dataclasses.dataclass(frozen=True)
 class ExperimentSpec:
     """One registered experiment.
 
@@ -68,6 +124,9 @@ class ExperimentSpec:
     runner: Callable
     defaults: Mapping = dataclasses.field(default_factory=dict)
     tags: Tuple[str, ...] = ()
+    #: Declared shared-state needs (designs / netlists / streams) the
+    #: suite scheduler warms up and shares across workers.
+    resources: Resources = dataclasses.field(default_factory=Resources)
 
     def __post_init__(self):
         if not self.id:
@@ -144,6 +203,7 @@ def _spec(
     title: str,
     runner: Callable,
     tags: Sequence[str],
+    resources: Optional[Resources] = None,
     **defaults,
 ) -> ExperimentSpec:
     return ExperimentSpec(
@@ -152,6 +212,7 @@ def _spec(
         runner=runner,
         defaults=defaults,
         tags=tuple(tags),
+        resources=resources or Resources(),
     )
 
 
@@ -161,61 +222,89 @@ REGISTRY: Dict[str, ExperimentSpec] = {
     spec.id: spec
     for spec in (
         _spec("fig05", "Per-pattern delay distributions (Fig. 5)",
-              fig05_delay_distribution.run, ("paper",)),
+              fig05_delay_distribution.run, ("paper",),
+              Resources(designs=_all_kinds(16), streams=(16,))),
         _spec("fig06", "Zero count vs mean delay (Fig. 6)",
-              fig06_zeros_vs_delay.run, ("paper",)),
+              fig06_zeros_vs_delay.run, ("paper",),
+              Resources(designs=_designs((16, "column")), streams=(16,))),
         _spec("fig07", "BTI aging trend of the critical path (Fig. 7)",
-              fig07_aging_trend.run, ("paper", "aging")),
+              fig07_aging_trend.run, ("paper", "aging"),
+              Resources(designs=_designs((16, "column"), (16, "row")))),
         _spec("fig09_10", "Operand zero-count distributions (Figs. 9-10)",
-              fig09_10_zero_distribution.run, ("paper",)),
+              fig09_10_zero_distribution.run, ("paper",),
+              Resources(streams=(16,))),
         _spec("tab1", "One-cycle ratios, 16x16 (Table I)",
-              tables_one_cycle_ratio.run_table1, ("paper",)),
+              tables_one_cycle_ratio.run_table1, ("paper",),
+              Resources(streams=(16,))),
         _spec("tab2", "One-cycle ratios, 32x32 (Table II)",
-              tables_one_cycle_ratio.run_table2, ("paper",)),
+              tables_one_cycle_ratio.run_table2, ("paper",),
+              Resources(streams=(32,))),
         _spec("fig13", "Latency vs cycle period, 16x16 (Fig. 13)",
-              fig13_14_latency_sweep.run_fig13, ("paper",)),
+              fig13_14_latency_sweep.run_fig13, ("paper",),
+              Resources(designs=_all_kinds(16), streams=(16,))),
         _spec("fig14", "Latency vs cycle period, 32x32 (Fig. 14)",
-              fig13_14_latency_sweep.run_fig14, ("paper",)),
+              fig13_14_latency_sweep.run_fig14, ("paper",),
+              Resources(designs=_all_kinds(32), streams=(32,))),
         _spec("fig15", "Skip comparison: 16x16 latency (Fig. 15)",
-              fig15_18_skip_comparison.run_fig15, ("paper",)),
+              fig15_18_skip_comparison.run_fig15, ("paper",),
+              Resources(designs=_all_kinds(16), streams=(16,))),
         _spec("fig16", "Skip comparison: 16x16 errors (Fig. 16)",
-              fig15_18_skip_comparison.run_fig16, ("paper",)),
+              fig15_18_skip_comparison.run_fig16, ("paper",),
+              Resources(designs=_all_kinds(16), streams=(16,))),
         _spec("fig17", "Skip comparison: 32x32 latency (Fig. 17)",
-              fig15_18_skip_comparison.run_fig17, ("paper",)),
+              fig15_18_skip_comparison.run_fig17, ("paper",),
+              Resources(designs=_all_kinds(32), streams=(32,))),
         _spec("fig18", "Skip comparison: 32x32 errors (Fig. 18)",
-              fig15_18_skip_comparison.run_fig18, ("paper",)),
+              fig15_18_skip_comparison.run_fig18, ("paper",),
+              Resources(designs=_all_kinds(32), streams=(32,))),
         _spec("fig19", "Adaptive vs traditional errors, 16 CB (Fig. 19)",
-              fig19_22_adaptive_errors.run_fig19, ("paper", "aging")),
+              fig19_22_adaptive_errors.run_fig19, ("paper", "aging"),
+              Resources(designs=_designs((16, "column")), streams=(16,))),
         _spec("fig20", "Adaptive vs traditional errors, 16 RB (Fig. 20)",
-              fig19_22_adaptive_errors.run_fig20, ("paper", "aging")),
+              fig19_22_adaptive_errors.run_fig20, ("paper", "aging"),
+              Resources(designs=_designs((16, "row")), streams=(16,))),
         _spec("fig21", "Adaptive vs traditional errors, 32 CB (Fig. 21)",
-              fig19_22_adaptive_errors.run_fig21, ("paper", "aging")),
+              fig19_22_adaptive_errors.run_fig21, ("paper", "aging"),
+              Resources(designs=_designs((32, "column")), streams=(32,))),
         _spec("fig22", "Adaptive vs traditional errors, 32 RB (Fig. 22)",
-              fig19_22_adaptive_errors.run_fig22, ("paper", "aging")),
+              fig19_22_adaptive_errors.run_fig22, ("paper", "aging"),
+              Resources(designs=_designs((32, "row")), streams=(32,))),
         _spec("fig23", "Adaptive vs traditional latency, 16x16 (Fig. 23)",
-              fig23_24_adaptive_latency.run_fig23, ("paper", "aging")),
+              fig23_24_adaptive_latency.run_fig23, ("paper", "aging"),
+              Resources(designs=_all_kinds(16), streams=(16,))),
         _spec("fig24", "Adaptive vs traditional latency, 32x32 (Fig. 24)",
-              fig23_24_adaptive_latency.run_fig24, ("paper", "aging")),
+              fig23_24_adaptive_latency.run_fig24, ("paper", "aging"),
+              Resources(designs=_all_kinds(32), streams=(32,))),
         _spec("fig25", "Area accounting (Fig. 25)",
-              fig25_area.run, ("paper",)),
+              fig25_area.run, ("paper",),
+              Resources(netlists=_all_kinds(16) + _all_kinds(32))),
         _spec("fig26", "Lifetime latency under aging (Fig. 26)",
-              fig26_27_lifetime.run_fig26, ("paper", "aging")),
+              fig26_27_lifetime.run_fig26, ("paper", "aging"),
+              Resources(designs=_all_kinds(16), streams=(16,))),
         _spec("fig27", "Lifetime power under aging (Fig. 27)",
-              fig26_27_lifetime.run_fig27, ("paper", "aging")),
+              fig26_27_lifetime.run_fig27, ("paper", "aging"),
+              Resources(designs=_all_kinds(32), streams=(32,))),
         _spec("claims", "Headline-claim checklist over all figures",
-              claims.run, ("paper",)),
+              claims.run, ("paper",),
+              Resources(designs=_all_kinds(16),
+                        netlists=_all_kinds(32), streams=(16,))),
         # Extensions beyond the paper's figures (Section V discussion,
         # related-work baselines, motivating workloads).
         _spec("ext_em", "Electromigration-aware aging",
-              ext_em.run, ("extension", "aging")),
+              ext_em.run, ("extension", "aging"),
+              Resources(designs=_designs((16, "column"), (16, "row")),
+                        streams=(16,))),
         _spec("ext_baselines", "Wallace/Dadda/Booth baselines",
-              ext_baselines.run, ("extension",)),
+              ext_baselines.run, ("extension",),
+              Resources(designs=_all_kinds(16), streams=(16,))),
         _spec("ext_faults", "Fault-injection coverage + recovery",
-              ext_faults.run, ("extension", "faults")),
+              ext_faults.run, ("extension", "faults"),
+              Resources(designs=_designs((8, "column")))),
         _spec("ext_vladder", "Aging-aware variable-latency adder",
               ext_vladder.run, ("extension",)),
         _spec("ext_workloads", "DSP / Markov workload study",
-              ext_workloads.run, ("extension", "workloads")),
+              ext_workloads.run, ("extension", "workloads"),
+              Resources(designs=_designs((16, "column")))),
     )
 }
 

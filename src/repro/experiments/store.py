@@ -1,0 +1,445 @@
+"""Persistent, fingerprint-keyed experiment artifact store.
+
+Reproducing the paper means running ~30 experiments, and every fresh
+process used to pay netlist construction, ``AgedCircuitFactory
+.characterize`` and the circuit stream simulations again from zero.
+The :class:`ArtifactStore` persists those three artifact classes on
+disk so they are computed once -- across experiments, across worker
+processes of a parallel suite run (:mod:`repro.experiments.scheduler`),
+and across invocations:
+
+* ``netlist`` -- generated :class:`~repro.nets.netlist.Netlist` objects,
+  keyed by their builder arguments (pickled; the netlist is this
+  library's own internal format);
+* ``stress``  -- characterized :class:`~repro.aging.stress
+  .StressProfile` s (the expensive ``characterize`` output), keyed by
+  the netlist's structural hash x technology x characterization
+  workload;
+* ``stream``  -- :class:`~repro.timing.engine.StreamResult` payloads,
+  keyed by netlist hash x technology x characterization x aging point x
+  stimulus.
+
+Every entry is a single file written atomically (tmp + ``os.replace``)
+with its full key embedded; on read the embedded key must match the
+requested key exactly, so a stale, corrupt or truncated file is ignored
+and rebuilt, never trusted -- the fingerprint-guard idiom proven in
+:mod:`repro.faults.store` and :mod:`repro.timing.value_cache`.  A JSONL
+manifest records every write for observability; like the campaign
+checkpoint it is torn-line tolerant (a killed writer loses at most its
+last line) and is compacted -- rewritten atomically from the surviving
+valid lines -- by :meth:`ArtifactStore.compact`.
+
+Concurrent writers are safe by construction: two processes building the
+same artifact race to ``os.replace`` the same content-addressed path,
+and either result is valid for every reader.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..config import SimulationConfig, Technology
+from ..errors import ConfigError
+from ..nets.netlist import Netlist
+from ..timing.engine import StreamResult
+
+#: Format tag embedded in every artifact and manifest header.
+FORMAT = "repro-artifact"
+#: Current artifact schema version; bump to invalidate every store.
+VERSION = 1
+#: Artifact kinds the store accepts.
+KINDS = ("netlist", "stress", "stream")
+#: Manifest file name inside the store directory.
+MANIFEST = "manifest.jsonl"
+
+_EXT = {"netlist": ".pkl", "stress": ".npz", "stream": ".npz"}
+
+
+def _canonical(key: Dict) -> str:
+    """Canonical JSON of a key dict (one JSON round-trip semantics)."""
+    return json.dumps(key, sort_keys=True, separators=(",", ":"))
+
+
+def artifact_digest(kind: str, key: Dict) -> str:
+    """sha256 fingerprint of ``(format, version, kind, key)``."""
+    if kind not in KINDS:
+        raise ConfigError(
+            "unknown artifact kind %r (known: %s)" % (kind, KINDS)
+        )
+    h = hashlib.sha256()
+    h.update(
+        _canonical(
+            {
+                "format": FORMAT,
+                "version": VERSION,
+                "kind": kind,
+                "key": key,
+            }
+        ).encode()
+    )
+    return h.hexdigest()
+
+
+def technology_fingerprint(technology: Technology) -> str:
+    """Stable sha256 of every technology constant."""
+    h = hashlib.sha256()
+    h.update(_canonical(dataclasses.asdict(technology)).encode())
+    return h.hexdigest()
+
+
+def config_fingerprint(config: SimulationConfig) -> str:
+    """Stable sha256 of the architecture-simulation configuration."""
+    h = hashlib.sha256()
+    h.update(_canonical(dataclasses.asdict(config)).encode())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Per-kind (de)serialization
+# ----------------------------------------------------------------------
+
+
+def _save_pickle(path: str, key: Dict, payload) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fp:
+        pickle.dump(
+            {
+                "format": FORMAT,
+                "version": VERSION,
+                "key": _canonical(key),
+                "payload": payload,
+            },
+            fp,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    os.replace(tmp, path)
+
+
+def _load_pickle(path: str, key: Dict):
+    with open(path, "rb") as fp:
+        record = pickle.load(fp)
+    if (
+        not isinstance(record, dict)
+        or record.get("format") != FORMAT
+        or record.get("version") != VERSION
+        or record.get("key") != _canonical(key)
+    ):
+        return None
+    return record["payload"]
+
+
+def _save_npz(path: str, key: Dict, arrays: Dict, meta: Dict) -> None:
+    meta = dict(meta)
+    meta.update(
+        {"format": FORMAT, "version": VERSION, "key": _canonical(key)}
+    )
+    payload = {
+        "meta": np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        ).copy()
+    }
+    payload.update(arrays)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fp:
+        np.savez(fp, **payload)
+    os.replace(tmp, path)
+
+
+def _load_npz(path: str, key: Dict):
+    """Returns ``(meta, arrays)`` or None on any mismatch/corruption."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if (
+            meta.get("format") != FORMAT
+            or meta.get("version") != VERSION
+            or meta.get("key") != _canonical(key)
+        ):
+            return None
+        arrays = {name: data[name] for name in data.files if name != "meta"}
+    return meta, arrays
+
+
+def _stress_arrays(stress) -> Dict:
+    return {
+        "pmos_stress": stress.pmos_stress,
+        "nmos_stress": stress.nmos_stress,
+    }
+
+
+def _stress_payload(meta: Dict, arrays: Dict):
+    from ..aging.stress import StressProfile
+
+    return StressProfile(
+        netlist_name=meta["netlist_name"],
+        pmos_stress=arrays["pmos_stress"],
+        nmos_stress=arrays["nmos_stress"],
+    )
+
+
+def _stream_arrays(result: StreamResult) -> "tuple[Dict, Dict]":
+    meta = {
+        "num_patterns": result.num_patterns,
+        "outputs": sorted(result.outputs),
+        "bit_arrivals": sorted(result.bit_arrivals or {}),
+        "has_stats": result.signal_prob is not None,
+    }
+    arrays = {
+        "delays": result.delays,
+        "switched_caps": result.switched_caps,
+    }
+    for name, arr in result.outputs.items():
+        arrays["out__" + name] = arr
+    for name, arr in (result.bit_arrivals or {}).items():
+        arrays["arr__" + name] = arr
+    if result.signal_prob is not None:
+        arrays["signal_prob"] = result.signal_prob
+        arrays["toggle_counts"] = result.toggle_counts
+    return meta, arrays
+
+
+def _stream_payload(meta: Dict, arrays: Dict) -> StreamResult:
+    bit_arrivals = {
+        name: arrays["arr__" + name] for name in meta["bit_arrivals"]
+    }
+    return StreamResult(
+        outputs={
+            name: arrays["out__" + name] for name in meta["outputs"]
+        },
+        delays=arrays["delays"],
+        switched_caps=arrays["switched_caps"],
+        num_patterns=int(meta["num_patterns"]),
+        bit_arrivals=bit_arrivals or None,
+        signal_prob=arrays["signal_prob"] if meta["has_stats"] else None,
+        toggle_counts=(
+            arrays["toggle_counts"] if meta["has_stats"] else None
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+
+
+class ArtifactStore:
+    """On-disk artifact cache shared by contexts, workers and runs.
+
+    Args:
+        directory: Store root (created on first write).  Value planes
+            cached by store-backed factories live under
+            ``<directory>/planes``; fault-campaign checkpoints under
+            ``<directory>/campaigns``.
+
+    Attributes:
+        counters: ``kind -> {"hits": n, "misses": n, "writes": n}``,
+            cumulative for this process (a parallel suite run merges the
+            workers' counters into the parent's accounting).
+    """
+
+    def __init__(self, directory: str):
+        if not directory:
+            raise ConfigError("artifact store needs a directory")
+        self.directory = str(directory)
+        self.counters: Dict[str, Dict[str, int]] = {
+            kind: {"hits": 0, "misses": 0, "writes": 0} for kind in KINDS
+        }
+
+    # -- paths ----------------------------------------------------------
+
+    def _path(self, kind: str, key: Dict) -> str:
+        digest = artifact_digest(kind, key)
+        return os.path.join(
+            self.directory, "%s-%s%s" % (kind, digest[:32], _EXT[kind])
+        )
+
+    def planes_dir(self) -> str:
+        """Directory for :class:`~repro.timing.value_cache
+        .ValuePlaneCache` entries of store-backed factories."""
+        return os.path.join(self.directory, "planes")
+
+    def campaigns_dir(self) -> str:
+        """Directory for fault-campaign JSONL checkpoints."""
+        path = os.path.join(self.directory, "campaigns")
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def _ensure_dir(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- generic load/save ---------------------------------------------
+
+    def load(self, kind: str, key: Dict):
+        """The stored artifact for ``key``, or None (miss counts)."""
+        path = self._path(kind, key)
+        if os.path.exists(path):
+            try:
+                if kind == "netlist":
+                    payload = _load_pickle(path, key)
+                else:
+                    loaded = _load_npz(path, key)
+                    if loaded is None:
+                        payload = None
+                    elif kind == "stress":
+                        payload = _stress_payload(*loaded)
+                    else:
+                        payload = _stream_payload(*loaded)
+            except Exception:
+                payload = None  # corrupt/foreign file: treat as miss
+            if payload is not None:
+                self.counters[kind]["hits"] += 1
+                return payload
+        self.counters[kind]["misses"] += 1
+        return None
+
+    def save(self, kind: str, key: Dict, payload) -> None:
+        """Atomically persist one artifact and log it to the manifest."""
+        if kind not in KINDS:
+            raise ConfigError(
+                "unknown artifact kind %r (known: %s)" % (kind, KINDS)
+            )
+        self._ensure_dir()
+        path = self._path(kind, key)
+        if kind == "netlist":
+            if not isinstance(payload, Netlist):
+                raise ConfigError("netlist artifact must be a Netlist")
+            _save_pickle(path, key, payload)
+        elif kind == "stress":
+            _save_npz(
+                path,
+                key,
+                _stress_arrays(payload),
+                {"netlist_name": payload.netlist_name},
+            )
+        else:
+            meta, arrays = _stream_arrays(payload)
+            _save_npz(path, key, arrays, meta)
+        self.counters[kind]["writes"] += 1
+        self._log(
+            {
+                "kind": kind,
+                "key": key,
+                "file": os.path.basename(path),
+            }
+        )
+
+    def get_or_build(self, kind: str, key: Dict, build):
+        """Load ``key`` or build-and-persist it (built at most once per
+        store; concurrent builders race benignly on the atomic rename)."""
+        payload = self.load(kind, key)
+        if payload is None:
+            payload = build()
+            self.save(kind, key, payload)
+        return payload
+
+    # -- manifest -------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST)
+
+    def _log(self, record: Dict) -> None:
+        self._ensure_dir()
+        line = _canonical(record) + "\n"
+        with open(self._manifest_path(), "a", encoding="utf-8") as fp:
+            fp.write(line)
+
+    def manifest(self) -> List[Dict]:
+        """All complete manifest records (torn trailing line dropped)."""
+        path = self._manifest_path()
+        if not os.path.exists(path):
+            return []
+        with open(path, "r", encoding="utf-8") as fp:
+            lines = [line for line in fp.read().split("\n") if line]
+        records = []
+        for number, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                if number == len(lines) - 1:
+                    break  # torn trailing write of a killed process
+                continue  # interleaved writers: skip, keep the rest
+        return records
+
+    def compact(self) -> int:
+        """Atomically rewrite the manifest from its valid lines,
+        de-duplicated by file name (last record wins).  Returns the
+        number of surviving records."""
+        records = self.manifest()
+        by_file: Dict[str, Dict] = {}
+        for record in records:
+            by_file[record.get("file", "")] = record
+        survivors = [
+            record
+            for record in by_file.values()
+            if os.path.exists(
+                os.path.join(self.directory, record.get("file", ""))
+            )
+        ]
+        self._ensure_dir()
+        tmp = self._manifest_path() + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fp:
+            for record in survivors:
+                fp.write(_canonical(record) + "\n")
+        os.replace(tmp, self._manifest_path())
+        return len(survivors)
+
+    # -- maintenance ----------------------------------------------------
+
+    def clear(self) -> None:
+        """Delete every artifact, plane and checkpoint (cold start)."""
+        if os.path.isdir(self.directory):
+            shutil.rmtree(self.directory)
+        for kind in self.counters:
+            self.counters[kind] = {"hits": 0, "misses": 0, "writes": 0}
+
+    def merge_counters(self, counters: Dict[str, Dict[str, int]]) -> None:
+        """Fold another process's counter snapshot into this one."""
+        for kind, stats in counters.items():
+            mine = self.counters.setdefault(
+                kind, {"hits": 0, "misses": 0, "writes": 0}
+            )
+            for name, value in stats.items():
+                mine[name] = mine.get(name, 0) + int(value)
+
+    def counter_totals(self) -> Dict[str, int]:
+        """Summed ``{"hits": n, "misses": n, "writes": n}`` over kinds."""
+        totals = {"hits": 0, "misses": 0, "writes": 0}
+        for stats in self.counters.values():
+            for name in totals:
+                totals[name] += stats.get(name, 0)
+        return totals
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """A deep copy of :attr:`counters` (for before/after deltas)."""
+        return {kind: dict(stats) for kind, stats in self.counters.items()}
+
+
+def counter_delta(
+    before: Dict[str, Dict[str, int]],
+    after: Dict[str, Dict[str, int]],
+) -> Dict[str, Dict[str, int]]:
+    """Per-kind counter difference ``after - before``."""
+    delta: Dict[str, Dict[str, int]] = {}
+    for kind, stats in after.items():
+        base = before.get(kind, {})
+        diff = {
+            name: value - base.get(name, 0)
+            for name, value in stats.items()
+        }
+        if any(diff.values()):
+            delta[kind] = diff
+    return delta
+
+
+def delta_totals(delta: Dict[str, Dict[str, int]]) -> Dict[str, int]:
+    """Summed hits/misses/writes over a :func:`counter_delta`."""
+    totals = {"hits": 0, "misses": 0, "writes": 0}
+    for stats in delta.values():
+        for name in totals:
+            totals[name] += stats.get(name, 0)
+    return totals

@@ -38,6 +38,7 @@ from .injector import (
     SITE_KINDS,
     build_fault_hooks,
     compile_with_faults,
+    em_fault_sites,
     enumerate_fault_sites,
     fault_delay_scale,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "TransientBitFlip",
     "build_fault_hooks",
     "compile_with_faults",
+    "em_fault_sites",
     "enumerate_fault_sites",
     "fault_delay_scale",
     "make_batches",

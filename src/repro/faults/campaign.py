@@ -51,11 +51,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..aging.electromigration import cell_toggle_rates
 from ..arith.reference import golden_products
 from ..core.architecture import AgingAwareMultiplier
 from ..core.stats import ArchitectureRunResult
 from ..errors import CampaignInterrupted, FaultError
-from .injector import compile_with_faults, enumerate_fault_sites
+from .injector import (
+    compile_with_faults,
+    em_fault_sites,
+    enumerate_fault_sites,
+)
 from .models import FaultModel
 
 #: Progress callback: ``(site_report, completed, total)``, invoked after
@@ -354,22 +359,59 @@ class InjectionCampaign:
         kinds: Sequence[str] = ("sa0", "sa1", "transient", "delay"),
         transient_rate: Optional[float] = None,
         delay_extra_ns: Optional[float] = None,
+        sites: str = "uniform",
+        em_model=None,
+        em_years: float = 10.0,
     ) -> "InjectionCampaign":
-        """Campaign over an automatically enumerated site sweep."""
-        if transient_rate is None:
-            transient_rate = architecture.config.default_transient_rate
-        if delay_extra_ns is None:
-            delay_extra_ns = 0.5 * architecture.cycle_ns
-        sites = enumerate_fault_sites(
-            architecture.netlist,
-            kinds=kinds,
-            limit=num_sites,
-            seed=seed,
-            transient_rate=transient_rate,
-            delay_extra_ns=delay_extra_ns,
-        )
+        """Campaign over an automatically enumerated site sweep.
+
+        ``sites`` selects the enumeration strategy: ``"uniform"`` (the
+        default) cycles ``kinds`` over a seeded shuffle of all cells;
+        ``"em"`` measures per-cell toggle rates on the campaign's own
+        operand stream and places delay faults on the cells the
+        electromigration current-density model ages fastest after
+        ``em_years``, with exactly the modelled delay magnitudes (see
+        :func:`~repro.faults.injector.em_fault_sites`).
+        """
+        if sites == "em":
+            rng = np.random.default_rng(seed)
+            high = 1 << architecture.width
+            md = rng.integers(0, high, num_patterns, dtype=np.uint64)
+            mr = rng.integers(0, high, num_patterns, dtype=np.uint64)
+            stats = architecture.factory.stream_result(
+                years, {"md": md, "mr": mr}, collect_net_stats=True
+            )
+            rates = cell_toggle_rates(
+                architecture.netlist, stats.toggle_counts, num_patterns
+            )
+            site_list = em_fault_sites(
+                architecture.netlist,
+                rates,
+                years=em_years,
+                em_model=em_model,
+                limit=num_sites,
+                technology=architecture.technology,
+            )
+        elif sites == "uniform":
+            if transient_rate is None:
+                transient_rate = architecture.config.default_transient_rate
+            if delay_extra_ns is None:
+                delay_extra_ns = 0.5 * architecture.cycle_ns
+            site_list = enumerate_fault_sites(
+                architecture.netlist,
+                kinds=kinds,
+                limit=num_sites,
+                seed=seed,
+                transient_rate=transient_rate,
+                delay_extra_ns=delay_extra_ns,
+            )
+        else:
+            raise FaultError(
+                "unknown site strategy %r (known: 'uniform', 'em')"
+                % (sites,)
+            )
         return cls(
-            architecture, sites, num_patterns, seed=seed, years=years
+            architecture, site_list, num_patterns, seed=seed, years=years
         )
 
     # ------------------------------------------------------------------

@@ -133,6 +133,51 @@ def compile_with_faults(
     )
 
 
+def em_fault_sites(
+    netlist: Netlist,
+    toggle_rates: np.ndarray,
+    years: float = 10.0,
+    em_model=None,
+    limit: Optional[int] = None,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+) -> List[DelayFault]:
+    """Delay-fault sites derived from the electromigration model.
+
+    Instead of spreading sites uniformly over the netlist
+    (:func:`enumerate_fault_sites`), this targets the cells whose output
+    wires electromigration ages fastest under the measured workload: the
+    EM current-density model (:class:`~repro.aging.electromigration
+    .ElectromigrationModel`) converts per-cell ``toggle_rates`` into
+    delay-scale factors after ``years``, cells are ranked by the
+    *absolute* delay they gain (scale excess x the cell's own delay),
+    and each of the top ``limit`` cells gets a :class:`DelayFault` of
+    exactly that magnitude.  Fully deterministic -- no sampling.
+    """
+    from ..aging.electromigration import ElectromigrationModel
+
+    if em_model is None:
+        em_model = ElectromigrationModel(technology)
+    cells = netlist.cells
+    if not cells:
+        return []
+    scale = em_model.delay_scale(netlist, toggle_rates, years)
+    unit = technology.time_unit_ns
+    extra_ns = np.array(
+        [
+            (scale[cell.index] - 1.0)
+            * cell.cell_type.delay_units
+            * unit
+            for cell in cells
+        ]
+    )
+    order = np.argsort(-extra_ns, kind="stable")
+    if limit is not None:
+        order = order[:limit]
+    return [
+        DelayFault(int(index), float(extra_ns[index])) for index in order
+    ]
+
+
 def enumerate_fault_sites(
     netlist: Netlist,
     kinds: Sequence[str] = SITE_KINDS,

@@ -90,6 +90,7 @@ class Netlist:
         self._driver: Dict[int, int] = {}  # net id -> cell index
         self._input_nets: set = set()
         self._levelized: Optional[List[Cell]] = None
+        self._validated = False
         #: Group tag -> enable net id.  Cells tagged with a group are
         #: understood to be frozen (no switching) whenever the enable net
         #: is 0; the power model uses this to credit bypassing savings.
@@ -112,6 +113,20 @@ class Netlist:
     @property
     def num_nets(self) -> int:
         return len(self._net_names)
+
+    @property
+    def version(self) -> Tuple[int, int, int, int, int]:
+        """Mutation counter for memo invalidation.  The builder is
+        append-only (cells, nets, ports and group enables are added,
+        never edited or removed), so the element counts uniquely
+        identify the structural revision."""
+        return (
+            len(self.cells),
+            len(self._net_names),
+            len(self.input_ports),
+            len(self.output_ports),
+            len(self.group_enables),
+        )
 
     def new_net(self, name: Optional[str] = None) -> int:
         """Allocate a fresh net id."""
@@ -235,6 +250,7 @@ class Netlist:
         self.cells.append(cell)
         self._driver[output] = index
         self._levelized = None
+        self._validated = False
         return output
 
     def set_group_enable(self, group: str, enable_net: int) -> None:
@@ -331,7 +347,13 @@ class Netlist:
         * every output-port net is driven, a primary input, or a constant;
         * every cell input is driven, a primary input, or a constant;
         * the netlist levelizes (no combinational loops).
+
+        Memoized: once a netlist validates it stays valid until the
+        next ``add_cell``, so analysis passes (STA, compilation,
+        replay) revalidating the same netlist pay nothing.
         """
+        if self._validated:
+            return
         for port in self.output_ports.values():
             for net in port.nets:
                 if (
@@ -355,6 +377,7 @@ class Netlist:
                         % (cell.index, cell.cell_type.name, self.net_name(net))
                     )
         self.levelize()
+        self._validated = True
 
     def stats(self) -> Dict[str, int]:
         """Cell counts by type plus ``nets`` and ``cells`` totals."""

@@ -53,7 +53,15 @@ CACHE_DIR_ENV = "REPRO_VALUE_PLANE_DIR"
 
 def netlist_fingerprint(netlist: Netlist) -> str:
     """Structural sha256 of a netlist (wiring, ports, groups -- no
-    delays: planes are delay-independent by construction)."""
+    delays: planes are delay-independent by construction).
+
+    Memoized on the netlist instance keyed by its mutation counter
+    (``Netlist.version``), so a netlist grown after fingerprinting is
+    re-hashed.
+    """
+    cached = getattr(netlist, "_structural_fp", None)
+    if cached is not None and cached[0] == netlist.version:
+        return cached[1]
     h = hashlib.sha256()
     h.update(repr((netlist.name, netlist.num_nets)).encode())
     for cell in netlist.cells:
@@ -71,7 +79,9 @@ def netlist_fingerprint(netlist: Netlist) -> str:
         for name, port in ports.items():
             h.update(repr((name, port.nets, port.is_input)).encode())
     h.update(repr(sorted(netlist.group_enables.items())).encode())
-    return h.hexdigest()
+    digest = h.hexdigest()
+    netlist._structural_fp = (netlist.version, digest)
+    return digest
 
 
 def stimulus_digest(stimulus: Dict[str, Sequence[int]]) -> str:
@@ -220,6 +230,15 @@ class ValuePlaneCache:
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, "plane-%s.npz" % key[:32])
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the hit/miss accounting (suite observability)."""
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+        }
 
     def get_or_build(
         self,

@@ -174,3 +174,52 @@ class TestAgedCircuitFactory:
         assert factory.mean_delta_vth(0.0) == 0.0
         assert 0.0 < factory.mean_delta_vth(7.0) < 0.2
         assert factory.mean_delta_vth(7.0) > factory.mean_delta_vth(1.0)
+
+
+class TestCharacterizationStimulus:
+    """Regression: width >= 64 ports must draw the full uint64 range.
+
+    An earlier revision drew from ``[0, 2**63)`` for 64-bit ports, so
+    bit 63 was constant-0 through characterization -- biasing the
+    measured signal probabilities (and hence BTI stress) of everything
+    fed by the top operand bit.
+    """
+
+    def _stimulus(self, width, n=4000, seed=17):
+        from collections import namedtuple
+
+        from repro.aging.degradation import characterization_stimulus
+
+        Port = namedtuple("Port", "width")
+        return characterization_stimulus(
+            {"md": Port(width)}, n, seed
+        )["md"]
+
+    def test_narrow_ports_bounded(self):
+        for width in (4, 16, 32, 63):
+            draws = self._stimulus(width)
+            assert draws.dtype == np.uint64
+            assert int(draws.max()) < (1 << width)
+            # The top in-range bit is actually exercised.
+            top = (draws >> np.uint64(width - 1)) & np.uint64(1)
+            assert 0.4 < top.mean() < 0.6
+
+    def test_wide_port_exercises_bit_63(self):
+        draws = self._stimulus(64)
+        top = (draws >> np.uint64(63)) & np.uint64(1)
+        assert top.any(), "bit 63 never drawn (the [0, 2**63) bug)"
+        assert 0.45 < top.mean() < 0.55
+
+    def test_wide_port_bits_uniform(self):
+        """Every bit lane of a 64-bit draw is ~fair -- pins the
+        distribution, not just the top bit."""
+        draws = self._stimulus(64, n=8000)
+        for bit in (0, 31, 62, 63):
+            lane = (draws >> np.uint64(bit)) & np.uint64(1)
+            assert 0.45 < lane.mean() < 0.55, "bit %d biased" % bit
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(self._stimulus(64), self._stimulus(64))
+        assert not np.array_equal(
+            self._stimulus(64, seed=17), self._stimulus(64, seed=18)
+        )

@@ -251,3 +251,82 @@ class TestCampaignSweep:
             site.avg_latency_ns
             >= result.baseline.report.average_latency_ns
         )
+
+
+class TestEmFaultSites:
+    """EM-coupled delay-fault sites (``sites="em"`` campaigns)."""
+
+    @pytest.fixture(scope="class")
+    def rates8(self, arch8):
+        from repro.aging import cell_toggle_rates
+
+        md, mr = uniform_operands(8, 400, seed=13)
+        stats = arch8.factory.stream_result(
+            0.0, {"md": md, "mr": mr}, collect_net_stats=True
+        )
+        return cell_toggle_rates(
+            arch8.netlist, stats.toggle_counts, 400
+        )
+
+    def test_ranked_by_absolute_delay_gain(self, arch8, rates8):
+        from repro.faults import em_fault_sites
+
+        faults = em_fault_sites(arch8.netlist, rates8, years=10.0)
+        assert len(faults) == len(arch8.netlist.cells)
+        assert all(isinstance(f, DelayFault) for f in faults)
+        extras = [f.extra_ns for f in faults]
+        assert extras == sorted(extras, reverse=True)
+        assert extras[0] > 0
+        assert all(extra >= 0 for extra in extras)
+
+    def test_limit_takes_worst_cells(self, arch8, rates8):
+        from repro.faults import em_fault_sites
+
+        full = em_fault_sites(arch8.netlist, rates8)
+        top = em_fault_sites(arch8.netlist, rates8, limit=10)
+        assert [(f.cell, f.extra_ns) for f in top] == [
+            (f.cell, f.extra_ns) for f in full[:10]
+        ]
+
+    def test_deterministic(self, arch8, rates8):
+        from repro.faults import em_fault_sites
+
+        first = em_fault_sites(arch8.netlist, rates8, years=10.0)
+        second = em_fault_sites(arch8.netlist, rates8, years=10.0)
+        assert [(f.cell, f.extra_ns) for f in first] == [
+            (f.cell, f.extra_ns) for f in second
+        ]
+
+    def test_more_years_more_delay(self, arch8, rates8):
+        from repro.faults import em_fault_sites
+
+        early = em_fault_sites(arch8.netlist, rates8, years=2.0)
+        late = em_fault_sites(arch8.netlist, rates8, years=10.0)
+        assert late[0].extra_ns > early[0].extra_ns
+
+    def test_em_campaign_sweep(self, arch8):
+        campaign = InjectionCampaign.sweep(
+            arch8, num_sites=12, num_patterns=200, seed=4, sites="em"
+        )
+        assert len(campaign.faults) == 12
+        assert all(isinstance(f, DelayFault) for f in campaign.faults)
+        result = campaign.run()
+        assert len(result.sites) == 12
+        assert all(site.kind == "delay" for site in result.sites)
+
+    def test_em_sweep_deterministic(self, arch8):
+        first = InjectionCampaign.sweep(
+            arch8, num_sites=8, num_patterns=200, seed=4, sites="em"
+        )
+        second = InjectionCampaign.sweep(
+            arch8, num_sites=8, num_patterns=200, seed=4, sites="em"
+        )
+        assert [
+            (f.cell, f.extra_ns) for f in first.faults
+        ] == [(f.cell, f.extra_ns) for f in second.faults]
+
+    def test_unknown_sites_rejected(self, arch8):
+        with pytest.raises(FaultError):
+            InjectionCampaign.sweep(
+                arch8, num_sites=8, num_patterns=200, sites="thermal"
+            )
