@@ -81,6 +81,50 @@ class RecoveryExhaustedError(SimulationError):
         super().__init__(message)
 
 
+class RetryExhaustedError(ReproError):
+    """A retried operation ran out of attempts or time budget.
+
+    Raised by :func:`repro.util.retry.retry_call` when every attempt of
+    the wrapped callable failed within the configured budget.  The last
+    underlying exception is chained as ``__cause__``.
+
+    Attributes:
+        attempts: Attempts made before giving up.
+        elapsed_s: Wall-clock seconds spent across all attempts.
+    """
+
+    def __init__(self, message, attempts=0, elapsed_s=0.0):
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+        super().__init__(message)
+
+
+class LockTimeoutError(RetryExhaustedError):
+    """An advisory file lock could not be acquired within its timeout.
+
+    Raised by :class:`repro.util.locking.FileLock`; carries the lock
+    path so contention diagnostics can name the resource.
+    """
+
+    def __init__(self, message, path=None, attempts=0, elapsed_s=0.0):
+        self.path = path
+        super().__init__(message, attempts=attempts, elapsed_s=elapsed_s)
+
+
+class ServiceError(ReproError):
+    """A reliability-service request could not be served normally."""
+
+
+class BackendCrashError(ServiceError):
+    """The service's compute backend died (killed worker / broken
+    process pool).  The pool is rebuilt; in-flight queries receive a
+    typed degraded response instead of a dropped connection."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A query's deadline elapsed before its result was ready."""
+
+
 class CalibrationError(ReproError):
     """A calibration target could not be met."""
 

@@ -17,8 +17,9 @@ stage characterizes each shared design exactly once; rendered outputs
 are byte-identical to the serial run.  ``--store PATH`` persists
 netlists / stress profiles / stream results across invocations, so a
 warm re-run touches almost no simulation; ``--cold`` clears the store
-first.  Exit status: 0 on success, 2 on configuration errors (unknown
-experiment ids come with a did-you-mean suggestion).
+first.  Exit status: 0 on success, 1 when any experiment failed (the
+rest still ran -- see the accounting table), 2 on configuration errors
+(unknown experiment ids come with a did-you-mean suggestion).
 """
 
 from __future__ import annotations
@@ -152,7 +153,7 @@ def _run(args) -> int:
         report.add_section("suite accounting", suite.render())
         report.write(args.report)
         print("report written to %s" % args.report)
-    return 0
+    return 1 if suite.failures() else 0
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import difflib
 import inspect
+import os
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
@@ -307,6 +308,15 @@ REGISTRY: Dict[str, ExperimentSpec] = {
               Resources(designs=_designs((16, "column")))),
     )
 }
+
+
+# Fault-injection specs for scheduler degradation tests.  Registered
+# only when REPRO_TEST_EXPERIMENTS is set; the environment propagates
+# to ProcessPoolExecutor workers, so the injected ids resolve there too.
+if os.environ.get("REPRO_TEST_EXPERIMENTS"):
+    from . import _testing
+
+    _testing.register_test_experiments(REGISTRY)
 
 
 def get_experiment(name: str) -> ExperimentSpec:

@@ -35,6 +35,7 @@ import shutil
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_table
@@ -100,6 +101,9 @@ class SuiteEntry:
     #: The result object (serial runs only; parallel workers return
     #: rendered text, so this is None).
     result: object = None
+    #: Failure description when the experiment raised or its worker
+    #: died -- a degraded-but-typed record instead of an aborted suite.
+    error: Optional[str] = None
 
     def cache_hits(self) -> int:
         return delta_totals(self.store_delta)["hits"]
@@ -136,6 +140,10 @@ class SuiteResult:
             stats.get("hits", 0) for stats in self.store_counters.values()
         )
 
+    def failures(self) -> List[SuiteEntry]:
+        """Entries whose experiment raised or whose worker died."""
+        return [entry for entry in self.entries if entry.error is not None]
+
     def render(self) -> str:
         """Per-experiment wall-clock / cache-hit accounting table."""
         rows = []
@@ -163,6 +171,12 @@ class SuiteResult:
                 rows,
             )
         )
+        failed = self.failures()
+        if failed:
+            lines.append("failed: %d of %d experiments"
+                         % (len(failed), len(self.entries)))
+            for entry in failed:
+                lines.append("  %s -- %s" % (entry.name, entry.error))
         return "\n".join(lines)
 
 
@@ -361,6 +375,35 @@ def _run_serial(
     )
 
 
+def _make_executor(
+    jobs, technology, config, scale, characterize_patterns, store_dir,
+) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_init_worker,
+        initargs=(
+            technology, config, scale, characterize_patterns, store_dir,
+        ),
+    )
+
+
+def _error_entry(name: str, error) -> SuiteEntry:
+    """A degraded-but-typed record for a failed experiment."""
+    spec = get_experiment(name)
+    if isinstance(error, BaseException):
+        message = "%s: %s" % (type(error).__name__, error)
+    else:
+        message = str(error)
+    return SuiteEntry(
+        name=name,
+        title=spec.title,
+        rendered="ERROR: %s" % message,
+        elapsed=0.0,
+        store_delta={},
+        error=message,
+    )
+
+
 def _run_parallel(
     plan, scale, jobs, store, technology, config,
     characterize_patterns, on_result,
@@ -370,13 +413,9 @@ def _run_parallel(
         temp_dir = tempfile.mkdtemp(prefix="repro-suite-store-")
         store = ArtifactStore(temp_dir)
     jobs = min(jobs, len(plan.names))
-    executor = ProcessPoolExecutor(
-        max_workers=jobs,
-        initializer=_init_worker,
-        initargs=(
-            technology, config, scale, characterize_patterns,
-            store.directory,
-        ),
+    executor = _make_executor(
+        jobs, technology, config, scale, characterize_patterns,
+        store.directory,
     )
     try:
         warmup_start = time.perf_counter()
@@ -394,37 +433,92 @@ def _run_parallel(
         warmup_s = time.perf_counter() - warmup_start
 
         order = {name: i for i, name in enumerate(plan.names)}
-        submission = sorted(plan.names, key=_spec_weight)
-        futures = {
-            executor.submit(_run_spec, name): name
-            for name in submission
-        }
-        done_entries: Dict[int, SuiteEntry] = {}
-        next_index = 0
         entries: List[SuiteEntry] = [None] * len(plan.names)
-        pending = set(futures)
-        while pending:
-            completed, pending = wait(
-                pending, return_when=FIRST_COMPLETED
-            )
-            for future in completed:
-                name, title, rendered, elapsed, delta = future.result()
-                store.merge_counters(delta)
-                entry = SuiteEntry(
-                    name=name,
-                    title=title,
-                    rendered=rendered,
-                    elapsed=elapsed,
-                    store_delta=delta,
-                )
-                index = order[name]
-                entries[index] = entry
-                done_entries[index] = entry
+        done_entries: Dict[int, SuiteEntry] = {}
+        flush = [0]  # next request-order index to emit
+
+        def finalize(entry: SuiteEntry) -> None:
+            index = order[entry.name]
+            entries[index] = entry
+            done_entries[index] = entry
             # Flush finalized entries strictly in request order.
-            while next_index in done_entries:
+            while flush[0] in done_entries:
                 if on_result is not None:
-                    on_result(done_entries[next_index])
-                next_index += 1
+                    on_result(done_entries[flush[0]])
+                flush[0] += 1
+
+        def harvest(future, name) -> bool:
+            """Finalize one completed future.  Returns True when the
+            future died with the pool (caller must rebuild + retry)."""
+            try:
+                _, title, rendered, elapsed, delta = future.result()
+            except BrokenProcessPool:
+                return True
+            except Exception as exc:
+                # Deterministic in-worker failure: record, no retry.
+                finalize(_error_entry(name, exc))
+                return False
+            store.merge_counters(delta)
+            finalize(SuiteEntry(
+                name=name,
+                title=title,
+                rendered=rendered,
+                elapsed=elapsed,
+                store_delta=delta,
+            ))
+            return False
+
+        # A worker calling os._exit (or being OOM-killed) breaks the
+        # whole pool: every unfinished future raises BrokenProcessPool,
+        # innocents included.  First breakage: rebuild the pool and
+        # resubmit every survivor in parallel.  Second breakage: the
+        # crasher is among the survivors, so isolate -- run them one at
+        # a time so a repeat crash implicates exactly one experiment,
+        # which becomes an error record while the rest complete.
+        remaining = sorted(plan.names, key=_spec_weight)
+        pool_broke_before = False
+        while remaining:
+            futures = {
+                executor.submit(_run_spec, name): name
+                for name in remaining
+            }
+            remaining = []
+            pending = set(futures)
+            broke = False
+            while pending:
+                completed, pending = wait(
+                    pending, return_when=FIRST_COMPLETED
+                )
+                for future in completed:
+                    name = futures[future]
+                    if harvest(future, name):
+                        broke = True
+                        remaining.append(name)
+            if not broke:
+                break
+            executor.shutdown(wait=False, cancel_futures=True)
+            executor = _make_executor(
+                jobs, technology, config, scale,
+                characterize_patterns, store.directory,
+            )
+            remaining.sort(key=_spec_weight)
+            if pool_broke_before:
+                # Isolation pass: one in-flight experiment at a time.
+                for name in remaining:
+                    if harvest(executor.submit(_run_spec, name), name):
+                        finalize(_error_entry(
+                            name, "worker process died while running"
+                            " this experiment",
+                        ))
+                        executor.shutdown(
+                            wait=False, cancel_futures=True
+                        )
+                        executor = _make_executor(
+                            jobs, technology, config, scale,
+                            characterize_patterns, store.directory,
+                        )
+                remaining = []
+            pool_broke_before = True
         return SuiteResult(
             entries=entries,
             plan=plan,

@@ -23,11 +23,19 @@ Every entry is a single file written atomically (tmp + ``os.replace``)
 with its full key embedded; on read the embedded key must match the
 requested key exactly, so a stale, corrupt or truncated file is ignored
 and rebuilt, never trusted -- the fingerprint-guard idiom proven in
-:mod:`repro.faults.store` and :mod:`repro.timing.value_cache`.  A JSONL
-manifest records every write for observability; like the campaign
-checkpoint it is torn-line tolerant (a killed writer loses at most its
-last line) and is compacted -- rewritten atomically from the surviving
-valid lines -- by :meth:`ArtifactStore.compact`.
+:mod:`repro.faults.store` and :mod:`repro.timing.value_cache`.
+
+The manifest recording every write is **sharded by digest prefix** into
+:data:`NUM_MANIFEST_SHARDS` JSONL files, each guarded by an advisory
+:class:`~repro.util.locking.FileLock` (``fcntl`` + bounded backoff, see
+:mod:`repro.util.retry`), so many concurrent writer processes append
+without interleaving and :meth:`ArtifactStore.compact` can never drop a
+record a writer appended mid-compaction.  Every shard is torn-line
+tolerant (a killed writer loses at most its last line) and an entirely
+unreadable shard is treated as empty -- counted in
+:attr:`ArtifactStore.corruption`, never raised.  A legacy unsharded
+``manifest.jsonl`` is still read, and folded into the shards by the
+next ``compact()``.
 
 Concurrent writers are safe by construction: two processes building the
 same artifact race to ``os.replace`` the same content-addressed path,
@@ -42,7 +50,7 @@ import json
 import os
 import pickle
 import shutil
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +58,8 @@ from ..config import SimulationConfig, Technology
 from ..errors import ConfigError
 from ..nets.netlist import Netlist
 from ..timing.engine import StreamResult
+from ..util.locking import FileLock
+from ..util.retry import Backoff, retry_call
 
 #: Format tag embedded in every artifact and manifest header.
 FORMAT = "repro-artifact"
@@ -57,8 +67,10 @@ FORMAT = "repro-artifact"
 VERSION = 1
 #: Artifact kinds the store accepts.
 KINDS = ("netlist", "stress", "stream")
-#: Manifest file name inside the store directory.
+#: Legacy (pre-sharding) manifest file name, still read if present.
 MANIFEST = "manifest.jsonl"
+#: Manifest shard count; shard = first hex nibble of the digest.
+NUM_MANIFEST_SHARDS = 16
 
 _EXT = {"netlist": ".pkl", "stress": ".npz", "stream": ".npz"}
 
@@ -240,20 +252,38 @@ class ArtifactStore:
         counters: ``kind -> {"hits": n, "misses": n, "writes": n}``,
             cumulative for this process (a parallel suite run merges the
             workers' counters into the parent's accounting).
+        corruption: Robustness accounting -- ``{"artifacts": n,
+            "manifest_lines": n, "manifest_shards": n}``.  Torn or
+            corrupt state is always degraded to a cache miss and
+            rebuilt; these counters are how the degradation stays
+            observable instead of silent.
     """
 
-    def __init__(self, directory: str):
+    #: Acquisition budget for every internal shard lock.
+    LOCK_TIMEOUT_S = 10.0
+
+    def __init__(self, directory: str, lock_timeout_s: Optional[float] = None):
         if not directory:
             raise ConfigError("artifact store needs a directory")
         self.directory = str(directory)
+        self.lock_timeout_s = (
+            self.LOCK_TIMEOUT_S if lock_timeout_s is None else lock_timeout_s
+        )
         self.counters: Dict[str, Dict[str, int]] = {
             kind: {"hits": 0, "misses": 0, "writes": 0} for kind in KINDS
+        }
+        self.corruption: Dict[str, int] = {
+            "artifacts": 0,
+            "manifest_lines": 0,
+            "manifest_shards": 0,
         }
 
     # -- paths ----------------------------------------------------------
 
     def _path(self, kind: str, key: Dict) -> str:
-        digest = artifact_digest(kind, key)
+        return self._digest_path(kind, artifact_digest(kind, key))
+
+    def _digest_path(self, kind: str, digest: str) -> str:
         return os.path.join(
             self.directory, "%s-%s%s" % (kind, digest[:32], _EXT[kind])
         )
@@ -275,7 +305,13 @@ class ArtifactStore:
     # -- generic load/save ---------------------------------------------
 
     def load(self, kind: str, key: Dict):
-        """The stored artifact for ``key``, or None (miss counts)."""
+        """The stored artifact for ``key``, or None (miss counts).
+
+        A file that exists but fails validation (torn write, foreign
+        bytes, stale embedded key) degrades to a miss *and* increments
+        ``corruption["artifacts"]`` -- corruption is never an exception
+        here, only an observable rebuild.
+        """
         path = self._path(kind, key)
         if os.path.exists(path):
             try:
@@ -294,6 +330,7 @@ class ArtifactStore:
             if payload is not None:
                 self.counters[kind]["hits"] += 1
                 return payload
+            self.corruption["artifacts"] += 1
         self.counters[kind]["misses"] += 1
         return None
 
@@ -304,7 +341,8 @@ class ArtifactStore:
                 "unknown artifact kind %r (known: %s)" % (kind, KINDS)
             )
         self._ensure_dir()
-        path = self._path(kind, key)
+        digest = artifact_digest(kind, key)
+        path = self._digest_path(kind, digest)
         if kind == "netlist":
             if not isinstance(payload, Netlist):
                 raise ConfigError("netlist artifact must be a Netlist")
@@ -325,7 +363,8 @@ class ArtifactStore:
                 "kind": kind,
                 "key": key,
                 "file": os.path.basename(path),
-            }
+            },
+            digest,
         )
 
     def get_or_build(self, kind: str, key: Dict, build):
@@ -340,62 +379,185 @@ class ArtifactStore:
     # -- manifest -------------------------------------------------------
 
     def _manifest_path(self) -> str:
+        """The legacy unsharded manifest (read-only compatibility)."""
         return os.path.join(self.directory, MANIFEST)
 
-    def _log(self, record: Dict) -> None:
-        self._ensure_dir()
-        line = _canonical(record) + "\n"
-        with open(self._manifest_path(), "a", encoding="utf-8") as fp:
-            fp.write(line)
+    def _shard_path(self, shard: int) -> str:
+        return os.path.join(self.directory, "manifest-%x.jsonl" % shard)
 
-    def manifest(self) -> List[Dict]:
-        """All complete manifest records (torn trailing line dropped)."""
-        path = self._manifest_path()
+    def _shard_lock(self, shard: int) -> FileLock:
+        return FileLock(
+            self._shard_path(shard) + ".lock",
+            timeout_s=self.lock_timeout_s,
+        )
+
+    @staticmethod
+    def _shard_of_digest(digest: str) -> int:
+        return int(digest[0], 16) % NUM_MANIFEST_SHARDS
+
+    @staticmethod
+    def _shard_of_file(filename: str) -> int:
+        """Shard owning a manifest record, recovered from its artifact
+        file name (``<kind>-<digest32><ext>``)."""
+        _, _, digest = filename.partition("-")
+        try:
+            return int(digest[0], 16) % NUM_MANIFEST_SHARDS
+        except (IndexError, ValueError):
+            return 0
+
+    def shard_paths(self) -> List[str]:
+        """Existing manifest shard files (diagnostics and tests)."""
+        return [
+            self._shard_path(shard)
+            for shard in range(NUM_MANIFEST_SHARDS)
+            if os.path.exists(self._shard_path(shard))
+        ]
+
+    def _log(self, record: Dict, digest: str) -> None:
+        self._ensure_dir()
+        shard = self._shard_of_digest(digest)
+        line = _canonical(record) + "\n"
+        with self._shard_lock(shard):
+            with open(
+                self._shard_path(shard), "a", encoding="utf-8"
+            ) as fp:
+                fp.write(line)
+
+    def _read_jsonl(self, path: str) -> List[Dict]:
+        """One manifest file's complete records.  Torn/corrupt lines
+        are skipped and counted; a wholly unreadable file is an empty
+        shard (counted), never an exception."""
         if not os.path.exists(path):
             return []
-        with open(path, "r", encoding="utf-8") as fp:
-            lines = [line for line in fp.read().split("\n") if line]
+        try:
+            with open(path, "r", encoding="utf-8") as fp:
+                lines = [line for line in fp.read().split("\n") if line]
+        except (OSError, UnicodeError):
+            self.corruption["manifest_shards"] += 1
+            return []
         records = []
         for number, line in enumerate(lines):
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except ValueError:
+                self.corruption["manifest_lines"] += 1
                 if number == len(lines) - 1:
                     break  # torn trailing write of a killed process
                 continue  # interleaved writers: skip, keep the rest
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                self.corruption["manifest_lines"] += 1
         return records
 
-    def compact(self) -> int:
-        """Atomically rewrite the manifest from its valid lines,
-        de-duplicated by file name (last record wins).  Returns the
-        number of surviving records."""
-        records = self.manifest()
-        by_file: Dict[str, Dict] = {}
-        for record in records:
-            by_file[record.get("file", "")] = record
-        survivors = [
-            record
-            for record in by_file.values()
-            if os.path.exists(
-                os.path.join(self.directory, record.get("file", ""))
-            )
-        ]
+    def manifest(self) -> List[Dict]:
+        """All complete manifest records over every shard (plus a
+        legacy unsharded manifest when present)."""
+        records = self._read_jsonl(self._manifest_path())
+        for shard in range(NUM_MANIFEST_SHARDS):
+            records.extend(self._read_jsonl(self._shard_path(shard)))
+        return records
+
+    def _rewrite_shard(self, shard: int, records: List[Dict]) -> None:
+        """Atomically replace one shard's contents (caller holds the
+        shard lock)."""
         self._ensure_dir()
-        tmp = self._manifest_path() + ".tmp"
+        path = self._shard_path(shard)
+        tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as fp:
-            for record in survivors:
+            for record in records:
                 fp.write(_canonical(record) + "\n")
-        os.replace(tmp, self._manifest_path())
-        return len(survivors)
+        os.replace(tmp, path)
+
+    def _fold_legacy_manifest(self) -> None:
+        """Distribute a pre-sharding ``manifest.jsonl`` into the shards
+        (idempotent; the legacy file is removed afterwards)."""
+        legacy_path = self._manifest_path()
+        if not os.path.exists(legacy_path):
+            return
+        legacy = self._read_jsonl(legacy_path)
+        by_shard: Dict[int, List[Dict]] = {}
+        for record in legacy:
+            shard = self._shard_of_file(record.get("file", ""))
+            by_shard.setdefault(shard, []).append(record)
+        for shard, records in sorted(by_shard.items()):
+            with self._shard_lock(shard):
+                with open(
+                    self._shard_path(shard), "a", encoding="utf-8"
+                ) as fp:
+                    for record in records:
+                        fp.write(_canonical(record) + "\n")
+        try:
+            os.remove(legacy_path)
+        except OSError:
+            pass
+
+    def compact(self) -> int:
+        """Rewrite every manifest shard from its valid lines,
+        de-duplicated by file name (last record wins), dropping records
+        whose artifact no longer exists.  Returns the number of
+        surviving records.
+
+        Each shard is read and rewritten while holding that shard's
+        lock -- the same lock :meth:`save` appends under -- so a record
+        appended by a concurrent writer can never fall between
+        compaction's read and its rewrite (the PR-5 store lost exactly
+        that race).  At most one shard lock is held at a time.
+        """
+        self._fold_legacy_manifest()
+        total = 0
+        for shard in range(NUM_MANIFEST_SHARDS):
+            with self._shard_lock(shard):
+                records = self._read_jsonl(self._shard_path(shard))
+                if not records and not os.path.exists(
+                    self._shard_path(shard)
+                ):
+                    continue
+                by_file: Dict[str, Dict] = {}
+                for record in records:
+                    by_file[record.get("file", "")] = record
+                survivors = [
+                    record
+                    for record in by_file.values()
+                    if os.path.exists(
+                        os.path.join(
+                            self.directory, record.get("file", "")
+                        )
+                    )
+                ]
+                self._rewrite_shard(shard, survivors)
+                total += len(survivors)
+        return total
 
     # -- maintenance ----------------------------------------------------
 
     def clear(self) -> None:
-        """Delete every artifact, plane and checkpoint (cold start)."""
-        if os.path.isdir(self.directory):
-            shutil.rmtree(self.directory)
+        """Delete every artifact, plane and checkpoint (cold start).
+
+        Safe to call while other processes write: deletion races
+        (a writer re-creating files mid-``rmtree``) are retried with
+        bounded backoff instead of surfacing ``OSError``.  Anything a
+        concurrent writer creates *after* the final sweep survives --
+        clear removes the state present when it ran, it does not fence
+        future writers.
+        """
+
+        def _sweep() -> None:
+            if os.path.isdir(self.directory):
+                shutil.rmtree(self.directory)
+
+        retry_call(
+            _sweep,
+            retry_on=(OSError,),
+            backoff=Backoff(
+                initial_s=0.01, max_delay_s=0.2, max_elapsed_s=5.0
+            ),
+            description="clearing store %s" % self.directory,
+        )
         for kind in self.counters:
             self.counters[kind] = {"hits": 0, "misses": 0, "writes": 0}
+        for name in self.corruption:
+            self.corruption[name] = 0
 
     def merge_counters(self, counters: Dict[str, Dict[str, int]]) -> None:
         """Fold another process's counter snapshot into this one."""

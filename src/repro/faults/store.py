@@ -35,6 +35,7 @@ from typing import Dict, Optional
 
 from ..analysis.serialize import to_json
 from ..errors import CheckpointError
+from ..util.locking import FileLock
 from .campaign import SiteReport
 
 #: Format tag written to (and required of) every checkpoint header.
@@ -147,17 +148,23 @@ class CheckpointStore:
         restarts empty.  The file is compacted on open -- header plus
         every surviving report rewritten atomically -- so torn trailing
         bytes never pollute subsequent appends.
+
+        The load-compact-reopen sequence runs under an advisory
+        :class:`~repro.util.locking.FileLock` (the artifact store's
+        shard-lock primitive), so two processes resuming the same
+        checkpoint serialize instead of interleaving their rewrites.
         """
-        reports = self.load(fingerprint) if resume else {}
-        tmp = self.path + ".tmp"
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        with open(tmp, "w", encoding="utf-8") as fp:
-            fp.write(self._header_line(fingerprint))
-            for site_id, report in reports.items():
-                fp.write(self._report_line(site_id, report))
-        os.replace(tmp, self.path)
-        self._fp = open(self.path, "a", encoding="utf-8")
+        with FileLock(self.path + ".lock"):
+            reports = self.load(fingerprint) if resume else {}
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fp:
+                fp.write(self._header_line(fingerprint))
+                for site_id, report in reports.items():
+                    fp.write(self._report_line(site_id, report))
+            os.replace(tmp, self.path)
+            self._fp = open(self.path, "a", encoding="utf-8")
         return reports
 
     def append(self, site_id: str, report: SiteReport) -> None:

@@ -259,10 +259,12 @@ class TestManifest:
         assert records[0]["file"] == os.path.basename(
             store._path("netlist", {"w": 4})
         )
-        # Compacted manifest is valid canonical JSONL.
-        with open(store._manifest_path(), encoding="utf-8") as fp:
-            for line in fp.read().splitlines():
-                json.loads(line)
+        # Compacted manifest shards are valid canonical JSONL.
+        assert store.shard_paths()
+        for path in store.shard_paths():
+            with open(path, encoding="utf-8") as fp:
+                for line in fp.read().splitlines():
+                    json.loads(line)
 
     def test_empty_store_manifest(self, store):
         assert store.manifest() == []

@@ -1,5 +1,6 @@
 """``python -m repro.experiments`` command-line surface."""
 
+import glob
 import json
 import os
 
@@ -97,21 +98,24 @@ class TestStoreFlags:
         out = capsys.readouterr().out
         assert json.load(open(cold_dump)) == json.load(open(warm_dump))
         assert "store: %s" % store in out
-        assert os.path.exists(os.path.join(store, "manifest.jsonl"))
+        assert glob.glob(os.path.join(store, "manifest-*.jsonl"))
 
     def test_cold_clears_the_store(self, tmp_path, capsys):
         store = str(tmp_path / "store")
         assert main(["fig06", "--store", store] + RUN) == 0
-        marker = os.path.join(store, "manifest.jsonl")
-        before = os.path.getmtime(marker)
+        shards = sorted(glob.glob(os.path.join(store, "manifest-*.jsonl")))
+        assert shards
+        before = max(os.path.getmtime(path) for path in shards)
         assert main(["fig06", "--store", store, "--cold"] + RUN) == 0
         # The manifest was rebuilt from scratch, not appended.
+        shards = sorted(glob.glob(os.path.join(store, "manifest-*.jsonl")))
         records = [
             json.loads(line)
-            for line in open(marker, encoding="utf-8")
+            for path in shards
+            for line in open(path, encoding="utf-8")
             if line.strip()
         ]
-        assert os.path.getmtime(marker) >= before
+        assert max(os.path.getmtime(path) for path in shards) >= before
         assert all(r["kind"] in ("netlist", "stress", "stream")
                    for r in records)
 

@@ -1,0 +1,212 @@
+"""Backoff schedules, the retry driver, and the two-layer FileLock."""
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError, LockTimeoutError, RetryExhaustedError
+from repro.util import Backoff, FileLock, retry_call
+
+
+class TestBackoff:
+    def test_schedule_without_jitter(self):
+        schedule = Backoff(
+            initial_s=0.01, factor=2.0, max_delay_s=0.04,
+            max_elapsed_s=None, max_attempts=5, jitter=0.0,
+        )
+        assert list(schedule.delays()) == pytest.approx(
+            [0.01, 0.02, 0.04, 0.04, 0.04]
+        )
+
+    def test_max_elapsed_bounds_planned_sleep(self):
+        schedule = Backoff(
+            initial_s=1.0, factor=1.0, max_delay_s=1.0,
+            max_elapsed_s=2.5, jitter=0.0,
+        )
+        # A third delay would push the planned total to 3.0 > 2.5.
+        assert list(schedule.delays()) == pytest.approx([1.0, 1.0])
+
+    def test_jitter_deterministic_under_seed(self):
+        kwargs = dict(
+            initial_s=0.01, max_delay_s=0.08, max_elapsed_s=None,
+            max_attempts=6, jitter=0.5,
+        )
+        a = list(Backoff(seed=42, **kwargs).delays())
+        b = list(Backoff(seed=42, **kwargs).delays())
+        c = list(Backoff(seed=43, **kwargs).delays())
+        assert a == b
+        assert a != c
+        # Jitter only ever adds, bounded by the configured fraction.
+        bare = list(Backoff(**dict(kwargs, jitter=0.0)).delays())
+        for jittered, base in zip(a, bare):
+            assert base <= jittered <= base * 1.5 + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Backoff(initial_s=0.0)
+        with pytest.raises(ConfigError):
+            Backoff(factor=0.5)
+        with pytest.raises(ConfigError):
+            Backoff(initial_s=0.5, max_delay_s=0.1)
+        with pytest.raises(ConfigError):
+            Backoff(jitter=-1.0)
+        with pytest.raises(ConfigError):
+            Backoff(max_elapsed_s=None, max_attempts=None)
+
+
+class TestRetryCall:
+    def test_success_passthrough(self):
+        assert retry_call(lambda: 41 + 1) == 42
+
+    def test_retries_then_succeeds(self):
+        calls = {"n": 0}
+        slept = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "done"
+
+        result = retry_call(
+            flaky,
+            backoff=Backoff(
+                initial_s=0.01, max_delay_s=0.04, max_elapsed_s=None,
+                max_attempts=5, jitter=0.0,
+            ),
+            sleep=slept.append,
+        )
+        assert result == "done"
+        assert calls["n"] == 3
+        assert slept == pytest.approx([0.01, 0.02])
+
+    def test_exhaustion_raises_typed_error(self):
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise OSError("still broken")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            retry_call(
+                always_fails,
+                description="doomed op",
+                backoff=Backoff(
+                    initial_s=0.001, max_delay_s=0.001,
+                    max_elapsed_s=None, max_attempts=3, jitter=0.0,
+                ),
+                sleep=lambda _s: None,
+            )
+        # 3 scheduled delays + the final attempt after the last sleep.
+        assert info.value.attempts == 4
+        assert calls["n"] == 4
+        assert "doomed op" in str(info.value)
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_unlisted_exception_propagates_immediately(self):
+        def bad():
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            retry_call(bad, retry_on=(OSError,), sleep=lambda _s: None)
+
+
+class TestFileLockThreads:
+    def test_exclusion_between_threads(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        order = []
+        holder_entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with FileLock(path, timeout_s=5.0):
+                order.append("holder-in")
+                holder_entered.set()
+                release.wait(timeout=10.0)
+                order.append("holder-out")
+
+        def waiter():
+            holder_entered.wait(timeout=10.0)
+            with FileLock(path, timeout_s=5.0):
+                order.append("waiter-in")
+
+        threads = [threading.Thread(target=holder),
+                   threading.Thread(target=waiter)]
+        for t in threads:
+            t.start()
+        holder_entered.wait(timeout=10.0)
+        time.sleep(0.05)  # give the waiter time to block on the lock
+        release.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert order == ["holder-in", "holder-out", "waiter-in"]
+
+    def test_contended_thread_times_out(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        with FileLock(path, timeout_s=5.0):
+            with pytest.raises(LockTimeoutError) as info:
+                FileLock(path, timeout_s=0.2).acquire()
+        assert info.value.path == os.path.abspath(path)
+        # Released now: immediately acquirable again.
+        with FileLock(path, timeout_s=0.2):
+            pass
+
+    def test_not_reentrant(self, tmp_path):
+        lock = FileLock(str(tmp_path / "x.lock"), timeout_s=0.2)
+        with lock:
+            with pytest.raises(LockTimeoutError):
+                lock.acquire()
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = FileLock(str(tmp_path / "x.lock"))
+        lock.acquire()
+        lock.release()
+        lock.release()
+        assert not lock.locked
+
+
+_CHILD_HOLDER = """
+import sys, time
+from repro.util import FileLock
+
+path, ready_path = sys.argv[1], sys.argv[2]
+with FileLock(path, timeout_s=5.0):
+    open(ready_path, "w").write("held")
+    time.sleep(%f)
+"""
+
+
+class TestFileLockProcesses:
+    def test_cross_process_contention(self, tmp_path):
+        lock_path = str(tmp_path / "shared.lock")
+        ready_path = str(tmp_path / "ready")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in [
+                os.path.join(os.path.dirname(__file__), "..", "src"),
+                env.get("PYTHONPATH", ""),
+            ] if p
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-c", _CHILD_HOLDER % 10.0,
+             lock_path, ready_path],
+            env=env,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while not os.path.exists(ready_path):
+                assert child.poll() is None, "lock-holder child died"
+                assert time.monotonic() < deadline, "child never ready"
+                time.sleep(0.01)
+            with pytest.raises(LockTimeoutError):
+                FileLock(lock_path, timeout_s=0.3).acquire()
+        finally:
+            child.kill()
+            child.wait()
+        # Holder gone: the flock died with its descriptor.
+        with FileLock(lock_path, timeout_s=2.0):
+            pass
