@@ -1,0 +1,171 @@
+"""Monte Carlo die-population compiler benchmark (the 10k-die gate).
+
+Prices a full **10,000-die x 6-year** population of the 8-bit
+column-bypassing multiplier through the batched path
+(:func:`repro.montecarlo.population.price_population`: one
+:class:`~repro.timing.replay.ArrivalReplay` pass per
+``die_chunk * num_years`` slab over a shared value plane) and compares
+its per-(die, year) cost against the naive reference
+(:func:`price_population_naive`: one full :class:`~repro.timing.engine
+.CompiledCircuit` compile + event-driven run per corner), extrapolated
+from a small die subset.
+
+Bit-identity of the naive subset's reductions against the matching
+batched slice is asserted **before** any timing claim -- the speedup is
+only meaningful because both paths produce the same numbers.
+
+Gates recorded in ``benchmarks/results/BENCH_mc.json``:
+
+* population >= ``MIN_DIES`` dies x >= ``MIN_YEARS`` aging corners
+  through the batched path;
+* batched path >= ``MIN_SPEEDUP`` x faster per (die, year) row than the
+  naive per-die loop.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.arith.reference import count_zeros
+from repro.montecarlo import MonteCarloSpec
+from repro.montecarlo.population import (
+    price_population,
+    price_population_naive,
+)
+from repro.montecarlo.sampler import CorrelatedVthSampler
+from repro.timing.replay import ArrivalReplay
+from repro.workloads.generators import uniform_operands
+
+RESULTS = os.path.join(os.path.dirname(__file__), "results")
+
+#: Acceptance floor: the population the batched path must price.
+MIN_DIES = 10_000
+MIN_YEARS = 5
+#: Batched path must beat the naive per-die loop by this factor.
+MIN_SPEEDUP = 20.0
+
+#: Bench population: 10k dies x 6 aging corners, 128-pattern stream,
+#: 192-die slabs (the replay-throughput sweet spot on one core).
+NUM_DIES = 10_000
+YEARS = (0.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+NUM_PATTERNS = 128
+DIE_CHUNK = 192
+#: Dies the naive reference loop actually runs (then extrapolates).
+NAIVE_DIES = 3
+
+WIDTH = 8
+SKIP = WIDTH // 2 - 1
+
+_RECORD = {}
+
+
+def test_population_pricing_speedup(benchmark, ctx):
+    spec = MonteCarloSpec.from_overrides(
+        num_dies=NUM_DIES,
+        years=YEARS,
+        num_patterns=NUM_PATTERNS,
+        die_chunk=DIE_CHUNK,
+    )
+    factory = ctx.factory(WIDTH, "column")
+    num_cells = len(factory.netlist.cells)
+    md, mr = uniform_operands(WIDTH, spec.num_patterns, spec.stream_seed)
+    stimulus = {"md": md, "mr": mr}
+    zeros = count_zeros(md, WIDTH)  # column bypass judges md
+
+    plane = factory.value_plane(stimulus)
+    fresh = ArrivalReplay(factory.circuit(0.0), plane).replay(
+        np.ones((1, num_cells))
+    )
+    base_period_ns = float(fresh.delays.max())
+    clock_ns = tuple(f * base_period_ns for f in (0.7, 0.85, 1.0, 1.15))
+
+    sampler = CorrelatedVthSampler(num_cells, spec)
+
+    def batched_run():
+        t0 = time.perf_counter()
+        out = price_population(
+            factory, sampler, spec, stimulus, zeros, WIDTH, SKIP, clock_ns
+        )
+        return out, time.perf_counter() - t0
+
+    batched, batched_seconds = benchmark.pedantic(
+        batched_run, rounds=1, iterations=1
+    )
+    assert batched.num_dies == NUM_DIES
+
+    t0 = time.perf_counter()
+    naive = price_population_naive(
+        factory, sampler, spec, stimulus, zeros, WIDTH, SKIP, clock_ns,
+        die_range=(0, NAIVE_DIES),
+    )
+    naive_seconds = time.perf_counter() - t0
+
+    # Correctness before speed: the naive subset must reproduce the
+    # batched slice bit for bit.
+    for field in (
+        "crit_ns", "bucket_max_ns", "one_violations", "one_deep",
+        "deep_ops", "deep_cycles",
+    ):
+        want = getattr(batched, field)[:NAIVE_DIES]
+        got = getattr(naive, field)
+        assert np.array_equal(want, got), (
+            "naive reference diverges from the batched path on %s"
+            % field
+        )
+
+    num_years = spec.num_years
+    batched_rows = NUM_DIES * num_years
+    naive_rows = NAIVE_DIES * num_years
+    batched_ms_per_row = batched_seconds / batched_rows * 1e3
+    naive_ms_per_row = naive_seconds / naive_rows * 1e3
+    speedup = naive_ms_per_row / batched_ms_per_row
+
+    _RECORD["mc_population"] = {
+        "experiment": "correlated-variation x aging MC pricing, 8x8"
+        " column-bypassing multiplier (%d cells)" % num_cells,
+        "num_dies": NUM_DIES,
+        "num_years": num_years,
+        "num_patterns": NUM_PATTERNS,
+        "num_clocks": len(clock_ns),
+        "die_chunk": DIE_CHUNK,
+        "bit_identical_to_naive": True,
+        "batched_seconds": round(batched_seconds, 3),
+        "batched_ms_per_die_year": round(batched_ms_per_row, 4),
+        "naive_subset_dies": NAIVE_DIES,
+        "naive_subset_seconds": round(naive_seconds, 3),
+        "naive_ms_per_die_year": round(naive_ms_per_row, 4),
+        "naive_extrapolated_seconds": round(
+            naive_ms_per_row * batched_rows / 1e3, 1
+        ),
+        "speedup": round(speedup, 2),
+    }
+    _flush()
+    print()
+    print(
+        "mc: %d dies x %d years batched in %.2fs (%.3f ms/row) |"
+        " naive %.3f ms/row -> %.1fx"
+        % (
+            NUM_DIES,
+            num_years,
+            batched_seconds,
+            batched_ms_per_row,
+            naive_ms_per_row,
+            speedup,
+        )
+    )
+
+    assert NUM_DIES >= MIN_DIES
+    assert num_years >= MIN_YEARS
+    assert speedup >= MIN_SPEEDUP, (
+        "batched pricing only %.2fx faster than the naive per-die loop"
+        % speedup
+    )
+
+
+def _flush():
+    os.makedirs(RESULTS, exist_ok=True)
+    with open(os.path.join(RESULTS, "BENCH_mc.json"), "w") as fh:
+        json.dump(_RECORD, fh, indent=2, sort_keys=True)
+        fh.write("\n")

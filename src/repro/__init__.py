@@ -15,6 +15,8 @@ Layered public API:
   and the variable-latency multiplier architecture
 * :mod:`repro.workloads` -- seeded pattern generators
 * :mod:`repro.experiments` -- one module per paper table/figure
+* :mod:`repro.montecarlo` -- correlated process-variation x aging
+  Monte Carlo over die populations (``python -m repro mc``)
 
 Quickstart::
 
@@ -55,6 +57,7 @@ __all__ = [
     "DEFAULT_SIM_CONFIG",
     "DEFAULT_TECHNOLOGY",
     "FaultError",
+    "MonteCarloSpec",
     "NetlistError",
     "RecoveryExhaustedError",
     "ReproError",
@@ -74,4 +77,9 @@ def __getattr__(name):
         from .core.architecture import AgingAwareMultiplier
 
         return AgingAwareMultiplier
+    if name == "MonteCarloSpec":
+        # Light import: the spec module pulls no simulation machinery.
+        from .montecarlo.spec import MonteCarloSpec
+
+        return MonteCarloSpec
     raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -75,6 +75,68 @@ def aging_delay_scale(
     return pmos_fraction * scale_p + (1.0 - pmos_fraction) * scale_n
 
 
+def vth_shifted_delay_scale(
+    netlist: Netlist,
+    stress: StressProfile,
+    years: float,
+    vth_shift: np.ndarray,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+) -> np.ndarray:
+    """Per-cell delay scales when process variation co-models with aging.
+
+    A die's per-cell Vth shift does not just rescale the fresh delay --
+    it moves the operating point the BTI drift eats into, so a slow
+    (high-Vth) die also *ages* faster in delay terms.  Both effects fall
+    out of evaluating the alpha-power law at the shifted overdrive::
+
+        scale = f_p * (ODp / (ODp - dVth_p(t) - v))^a
+              + f_n * (ODn / (ODn - dVth_n(t) - v))^a
+
+    where ``v`` is the die's signed per-cell shift (volts).  With
+    ``v = 0`` this reproduces :func:`aging_delay_scale` bit for bit.
+
+    Args:
+        vth_shift: ``(num_cells,)`` or ``(dies, num_cells)`` signed
+            shifts in volts (negative = fast corner).
+
+    Returns:
+        Delay-scale factors with the same leading shape as
+        ``vth_shift``.
+    """
+    cells = netlist.cells
+    if stress.num_cells != len(cells):
+        raise SimulationError(
+            "stress profile has %d cells, netlist has %d"
+            % (stress.num_cells, len(cells))
+        )
+    shift = np.asarray(vth_shift, dtype=float)
+    squeeze = shift.ndim == 1
+    shift = np.atleast_2d(shift)
+    if shift.shape[1] != len(cells):
+        raise SimulationError(
+            "vth_shift has %d cells, netlist has %d"
+            % (shift.shape[1], len(cells))
+        )
+    model = BTIModel(technology)
+    dvth_p = model.delta_vth(years, stress.pmos_stress, "nbti")
+    dvth_n = model.delta_vth(years, stress.nmos_stress, "pbti")
+    remaining_p = technology.gate_overdrive_p - dvth_p - shift
+    remaining_n = technology.gate_overdrive_n - dvth_n - shift
+    if np.any(remaining_p <= 0) or np.any(remaining_n <= 0):
+        raise SimulationError(
+            "Vth shift plus aging drift exceeds the gate overdrive; "
+            "tighten the sampler sigmas or max_shift_v"
+        )
+    alpha = technology.alpha_sat
+    scale_p = (technology.gate_overdrive_p / remaining_p) ** alpha
+    scale_n = (technology.gate_overdrive_n / remaining_n) ** alpha
+    pmos_fraction = np.array(
+        [cell.cell_type.pmos_fraction for cell in cells]
+    )
+    scales = pmos_fraction * scale_p + (1.0 - pmos_fraction) * scale_n
+    return scales[0] if squeeze else scales
+
+
 def characterization_stimulus(
     input_ports: Dict[str, "object"],
     num_patterns: int,
@@ -184,6 +246,16 @@ class AgedCircuitFactory:
                     self.netlist, self.technology, self.delay_scale(years)
                 )
         return self._cache[key]
+
+    def vth_shifted_scales(
+        self, years: float, vth_shift: np.ndarray
+    ) -> np.ndarray:
+        """Delay scales for one aging point under per-cell Vth shifts
+        (see :func:`vth_shifted_delay_scale`); ``vth_shift`` may carry a
+        leading die axis."""
+        return vth_shifted_delay_scale(
+            self.netlist, self.stress, years, vth_shift, self.technology
+        )
 
     def lifetime_delay_scales(self, years: "Sequence[float]") -> np.ndarray:
         """Stacked ``(k, num_cells)`` delay-scale matrix, one row per

@@ -75,6 +75,19 @@ class AdaptiveHoldLogic:
         self.indicator.reset()
 
 
+def skip_candidates(width: int) -> range:
+    """Every AHL-legal Skip-n for a ``width``-bit judged operand.
+
+    The adaptive pair needs Skip-``n+1`` to fit alongside Skip-``n``
+    (the :class:`AdaptiveHoldLogic` constructor check), so candidates
+    run ``0 .. width - 1``.  The Monte Carlo guard-band tuner scans
+    exactly this range (:mod:`repro.montecarlo.analytics`).
+    """
+    if width < 1:
+        raise ConfigError("width must be >= 1, got %r" % (width,))
+    return range(0, width)
+
+
 def ahl_netlist(
     width: int,
     skip: int,
@@ -115,4 +128,9 @@ def ahl_netlist(
     return nl, sequential_bits
 
 
-__all__ = ["AdaptiveHoldLogic", "ahl_netlist", "judging_netlist"]
+__all__ = [
+    "AdaptiveHoldLogic",
+    "ahl_netlist",
+    "judging_netlist",
+    "skip_candidates",
+]

@@ -157,4 +157,9 @@ def _run(args) -> int:
 
 
 if __name__ == "__main__":
+    print(
+        "note: 'python -m repro.experiments' is deprecated; use"
+        " 'python -m repro experiments' (same arguments)",
+        file=sys.stderr,
+    )
     sys.exit(main())

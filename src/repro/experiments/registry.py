@@ -29,6 +29,7 @@ from . import (
     ext_baselines,
     ext_em,
     ext_faults,
+    ext_mc,
     ext_vladder,
     ext_workloads,
     fig05_delay_distribution,
@@ -46,7 +47,7 @@ from . import (
 
 #: Tags with registry-wide meaning: ``paper`` experiments reproduce a
 #: figure/table of the source paper, ``extension`` ones go beyond it.
-KNOWN_TAGS = ("paper", "extension", "faults", "aging", "workloads")
+KNOWN_TAGS = ("paper", "extension", "faults", "aging", "workloads", "mc")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -303,6 +304,16 @@ REGISTRY: Dict[str, ExperimentSpec] = {
               Resources(designs=_designs((8, "column")))),
         _spec("ext_vladder", "Aging-aware variable-latency adder",
               ext_vladder.run, ("extension",)),
+        _spec("mc_yield",
+              "Variation x aging Monte Carlo: yield/latency surfaces",
+              ext_mc.run_yield, ("extension", "mc", "aging"),
+              Resources(designs=_designs((8, "column"))),
+              num_dies=200, years=(0.0, 5.0, 10.0)),
+        _spec("mc_guardband",
+              "Variation x aging Monte Carlo: Skip-n guard-band tuning",
+              ext_mc.run_guardband, ("extension", "mc", "aging"),
+              Resources(designs=_designs((8, "column"))),
+              num_dies=200, years=(0.0, 5.0, 10.0)),
         _spec("ext_workloads", "DSP / Markov workload study",
               ext_workloads.run, ("extension", "workloads"),
               Resources(designs=_designs((16, "column")))),

@@ -63,6 +63,30 @@ class SuitePlan:
     warmup_netlists: Tuple[Tuple[int, str], ...]
 
 
+def shard_ranges(total: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into at most ``shards`` contiguous,
+    near-equal ``(lo, hi)`` ranges (first shards one longer when the
+    split is uneven).  Shared by the Monte Carlo runner
+    (:mod:`repro.montecarlo.runner`): concatenating the per-range
+    results in order reproduces the unsharded computation exactly.
+    """
+    if total < 0:
+        raise ConfigError("total must be >= 0, got %r" % (total,))
+    if shards < 1:
+        raise ConfigError("shards must be >= 1, got %r" % (shards,))
+    if total == 0:
+        return []
+    shards = min(shards, total)
+    base, extra = divmod(total, shards)
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
 def plan_suite(names: Sequence[str]) -> SuitePlan:
     """Merge the named specs' resource declarations into a plan."""
     specs = [get_experiment(name) for name in names]

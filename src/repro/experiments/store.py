@@ -65,14 +65,25 @@ from ..util.retry import Backoff, retry_call
 FORMAT = "repro-artifact"
 #: Current artifact schema version; bump to invalidate every store.
 VERSION = 1
-#: Artifact kinds the store accepts.
-KINDS = ("netlist", "stress", "stream")
+#: Artifact kinds the store accepts.  ``population`` holds the compact
+#: per-(die, year) reductions of a priced Monte Carlo population
+#: (:class:`repro.montecarlo.population.PopulationReductions` payload,
+#: fingerprint-keyed on the sampler config); ``surface`` holds the
+#: derived analytics dict (:class:`repro.montecarlo.analytics
+#: .MonteCarloResult`).
+KINDS = ("netlist", "stress", "stream", "population", "surface")
 #: Legacy (pre-sharding) manifest file name, still read if present.
 MANIFEST = "manifest.jsonl"
 #: Manifest shard count; shard = first hex nibble of the digest.
 NUM_MANIFEST_SHARDS = 16
 
-_EXT = {"netlist": ".pkl", "stress": ".npz", "stream": ".npz"}
+_EXT = {
+    "netlist": ".pkl",
+    "stress": ".npz",
+    "stream": ".npz",
+    "population": ".npz",
+    "surface": ".pkl",
+}
 
 
 def _canonical(key: Dict) -> str:
@@ -196,6 +207,20 @@ def _stress_payload(meta: Dict, arrays: Dict):
     )
 
 
+def _population_payload(meta: Dict, arrays: Dict) -> Dict:
+    """Reassemble a Monte Carlo population's ``{"meta", "arrays"}``
+    payload (see :class:`repro.montecarlo.population
+    .PopulationReductions`)."""
+    return {
+        "meta": meta["population"],
+        "arrays": {
+            name[len("pop__"):]: arr
+            for name, arr in arrays.items()
+            if name.startswith("pop__")
+        },
+    }
+
+
 def _stream_arrays(result: StreamResult) -> "tuple[Dict, Dict]":
     meta = {
         "num_patterns": result.num_patterns,
@@ -315,7 +340,7 @@ class ArtifactStore:
         path = self._path(kind, key)
         if os.path.exists(path):
             try:
-                if kind == "netlist":
+                if kind in ("netlist", "surface"):
                     payload = _load_pickle(path, key)
                 else:
                     loaded = _load_npz(path, key)
@@ -323,6 +348,8 @@ class ArtifactStore:
                         payload = None
                     elif kind == "stress":
                         payload = _stress_payload(*loaded)
+                    elif kind == "population":
+                        payload = _population_payload(*loaded)
                     else:
                         payload = _stream_payload(*loaded)
             except Exception:
@@ -347,12 +374,34 @@ class ArtifactStore:
             if not isinstance(payload, Netlist):
                 raise ConfigError("netlist artifact must be a Netlist")
             _save_pickle(path, key, payload)
+        elif kind == "surface":
+            if not isinstance(payload, dict):
+                raise ConfigError("surface artifact must be a dict")
+            _save_pickle(path, key, payload)
         elif kind == "stress":
             _save_npz(
                 path,
                 key,
                 _stress_arrays(payload),
                 {"netlist_name": payload.netlist_name},
+            )
+        elif kind == "population":
+            if (
+                not isinstance(payload, dict)
+                or "meta" not in payload
+                or "arrays" not in payload
+            ):
+                raise ConfigError(
+                    'population artifact must be a {"meta", "arrays"} dict'
+                )
+            _save_npz(
+                path,
+                key,
+                {
+                    "pop__" + name: np.asarray(arr)
+                    for name, arr in payload["arrays"].items()
+                },
+                {"population": payload["meta"]},
             )
         else:
             meta, arrays = _stream_arrays(payload)

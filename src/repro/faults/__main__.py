@@ -233,4 +233,9 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
+    print(
+        "note: 'python -m repro.faults' is deprecated; use"
+        " 'python -m repro faults' (same arguments)",
+        file=sys.stderr,
+    )
     sys.exit(main())

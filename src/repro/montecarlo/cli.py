@@ -1,0 +1,128 @@
+"""The ``mc`` subcommand of the unified ``python -m repro`` CLI.
+
+Usage::
+
+    python -m repro mc --dies 200 --years 0,5,10 --width 8
+    python -m repro mc --dies 10000 --jobs 8 --store .repro-store \\
+        --json mc.json
+
+Per-die RNG substreams and per-row batched replay make the report (and
+the ``--json`` artifact) byte-identical for every ``--jobs`` value and
+for cold vs store-warm runs -- the surface the CI smoke job ``cmp``'s.
+
+Exit status: 0 on success, 2 on configuration errors (unknown spec
+fields come with a did-you-mean suggestion).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from ..analysis.serialize import to_json
+from ..errors import ReproError
+from .runner import run_montecarlo
+from .spec import MonteCarloSpec
+
+
+def _floats(text: str):
+    return tuple(float(part) for part in text.split(",") if part)
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro mc",
+        description="Correlated process-variation x aging Monte Carlo.",
+    )
+    parser.add_argument("--dies", type=int, metavar="N",
+                        help="dies to sample (default %d)"
+                        % MonteCarloSpec.num_dies)
+    parser.add_argument("--width", type=int, default=8,
+                        help="multiplier operand width (default 8)")
+    parser.add_argument("--kind", default="column",
+                        choices=("am", "column", "row"),
+                        help="multiplier design (default column)")
+    parser.add_argument("--skip", type=int, default=None,
+                        help="AHL Skip-n (default width//2 - 1)")
+    parser.add_argument("--years", type=_floats, metavar="Y0,Y1,...",
+                        help="ascending aging grid in years")
+    parser.add_argument("--clocks", type=_floats, metavar="F0,F1,...",
+                        help="ascending clock periods as fractions of"
+                        " the fresh critical path")
+    parser.add_argument("--patterns", type=int, metavar="N",
+                        help="operand patterns in the workload stream")
+    parser.add_argument("--seed", type=int, help="master seed")
+    parser.add_argument("--sigma-global", type=float, metavar="V",
+                        help="inter-die Vth sigma (volts)")
+    parser.add_argument("--sigma-spatial", type=float, metavar="V",
+                        help="correlated intra-die Vth sigma (volts)")
+    parser.add_argument("--sigma-random", type=float, metavar="V",
+                        help="per-cell random Vth sigma (volts)")
+    parser.add_argument("--corr-length", type=float, metavar="CELLS",
+                        help="spatial correlation length (cell units)")
+    parser.add_argument("--target-yield", type=float, metavar="F",
+                        help="timing-yield floor for guard-band tuning")
+    parser.add_argument("--die-chunk", type=int, metavar="N",
+                        help="dies per batched replay slab")
+    parser.add_argument("--bins", type=int, default=32,
+                        help="critical-path histogram bins (default 32)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="die-axis worker processes (default 1;"
+                        " results are bit-identical for any N)")
+    parser.add_argument("--store", metavar="PATH",
+                        help="persistent artifact store directory"
+                        " (priced populations are reused when warm)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full result as sorted JSON")
+    return parser
+
+
+def _spec_from_args(args) -> MonteCarloSpec:
+    overrides = {
+        "num_dies": args.dies,
+        "years": args.years,
+        "clock_fractions": args.clocks,
+        "num_patterns": args.patterns,
+        "seed": args.seed,
+        "sigma_global_v": args.sigma_global,
+        "sigma_spatial_v": args.sigma_spatial,
+        "sigma_random_v": args.sigma_random,
+        "correlation_length": args.corr_length,
+        "target_yield": args.target_yield,
+        "die_chunk": args.die_chunk,
+    }
+    return MonteCarloSpec.from_overrides(
+        **{k: v for k, v in overrides.items() if v is not None}
+    )
+
+
+def main(argv=None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        result = run_montecarlo(
+            _spec_from_args(args),
+            width=args.width,
+            kind=args.kind,
+            skip=args.skip,
+            jobs=args.jobs,
+            store=args.store,
+            num_bins=args.bins,
+        )
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.json:
+        directory = os.path.dirname(args.json)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as fp:
+            fp.write(to_json(result, indent=2))
+            fp.write("\n")
+        print("wrote %s" % args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

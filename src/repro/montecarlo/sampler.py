@@ -1,0 +1,118 @@
+"""Correlated per-cell Vth sampling with per-die substreams.
+
+Process variation decomposes per cell into three components (Heidary &
+Joardar's co-modeling premise, PAPERS.md):
+
+* a **global** inter-die shift every cell of a die shares (fast/slow
+  chips);
+* a **spatially-correlated** intra-die field: nearby cells on the die
+  drift together (across-die gradients, lithography stripes), realized
+  as independent Gaussians on a coarse patch grid of spacing
+  ``correlation_length`` bilinearly interpolated at each cell's
+  floorplan coordinate -- O(cells) per die instead of an O(cells^2)
+  covariance factorization, while still giving an exponential-like
+  correlation falloff;
+* a **random** per-cell term (random dopant fluctuation).
+
+Cells are laid out on a synthetic square floorplan in levelized index
+order (the netlist carries no placement, and the correlation model only
+needs *a* consistent geometry).
+
+Determinism contract: die ``d`` draws from its own
+``numpy.random.SeedSequence(seed, spawn_key=(d,))`` substream, so the
+sampled population is **bit-identical for any shard decomposition** --
+sampling dies ``[0, 10)`` in one process equals sampling ``[0, 3)`` and
+``[3, 10)`` in two.  ``tests/test_montecarlo.py`` asserts this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .spec import MonteCarloSpec
+
+
+class CorrelatedVthSampler:
+    """Samples signed per-cell Vth shifts (volts) for a die population.
+
+    Args:
+        num_cells: Cells in the target netlist (the length of every
+            sampled shift vector).
+        spec: The population configuration (sigma split, correlation
+            length, clip, master seed).
+    """
+
+    def __init__(self, num_cells: int, spec: MonteCarloSpec):
+        if num_cells < 1:
+            raise ConfigError("num_cells must be >= 1")
+        self.num_cells = num_cells
+        self.spec = spec
+        # Synthetic floorplan: cell i sits at (i % side, i // side).
+        side = max(1, int(math.ceil(math.sqrt(num_cells))))
+        self.side = side
+        idx = np.arange(num_cells)
+        x = (idx % side).astype(float)
+        y = (idx // side).astype(float)
+        # Patch-grid bilinear interpolation weights, precomputed once.
+        length = spec.correlation_length
+        u = x / length
+        v = y / length
+        self._ix = u.astype(np.int64)
+        self._iy = v.astype(np.int64)
+        self._fx = u - self._ix
+        self._fy = v - self._iy
+        self.patch_shape: Tuple[int, int] = (
+            int(self._iy.max()) + 2,
+            int(self._ix.max()) + 2,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _die_rng(self, die_index: int) -> np.random.Generator:
+        seq = np.random.SeedSequence(
+            self.spec.seed, spawn_key=(int(die_index),)
+        )
+        return np.random.Generator(np.random.PCG64(seq))
+
+    def _interpolate(self, patches: np.ndarray) -> np.ndarray:
+        """Bilinear patch-grid value at every cell coordinate."""
+        ix, iy, fx, fy = self._ix, self._iy, self._fx, self._fy
+        p00 = patches[iy, ix]
+        p01 = patches[iy, ix + 1]
+        p10 = patches[iy + 1, ix]
+        p11 = patches[iy + 1, ix + 1]
+        top = p00 * (1.0 - fx) + p01 * fx
+        bottom = p10 * (1.0 - fx) + p11 * fx
+        return top * (1.0 - fy) + bottom * fy
+
+    def sample_die(self, die_index: int) -> np.ndarray:
+        """One die's ``(num_cells,)`` signed Vth shift vector (volts).
+
+        Draw order within the substream is fixed (global, patches,
+        random), so the result depends only on ``(spec, die_index)``.
+        """
+        if die_index < 0:
+            raise ConfigError("die_index must be non-negative")
+        spec = self.spec
+        rng = self._die_rng(die_index)
+        shift = rng.standard_normal() * spec.sigma_global_v
+        patches = rng.standard_normal(self.patch_shape)
+        shift = shift + self._interpolate(patches) * spec.sigma_spatial_v
+        shift = shift + (
+            rng.standard_normal(self.num_cells) * spec.sigma_random_v
+        )
+        return np.clip(shift, -spec.max_shift_v, spec.max_shift_v)
+
+    def sample(self, lo: int, hi: int) -> np.ndarray:
+        """Dies ``[lo, hi)`` stacked as a ``(hi - lo, num_cells)``
+        matrix -- equal to concatenating any sub-range split."""
+        if not 0 <= lo <= hi:
+            raise ConfigError("need 0 <= lo <= hi, got [%d, %d)" % (lo, hi))
+        out = np.empty((hi - lo, self.num_cells))
+        for row, die in enumerate(range(lo, hi)):
+            out[row] = self.sample_die(die)
+        return out

@@ -1,0 +1,172 @@
+"""Typed configuration of a process-variation x aging Monte Carlo.
+
+One frozen :class:`MonteCarloSpec` captures everything that determines a
+sampled die population and its pricing grid -- die count, the three-way
+Vth sigma split (global / spatially-correlated / random), the spatial
+correlation length, the aging-year grid, the clock-period grid (as
+fractions of the design's fresh critical path), the pattern stream and
+the master seed.  Two runs with equal specs produce bit-identical
+populations regardless of process-pool shard count (the sampler derives
+one substream per die from ``(seed, die_index)``), which is what lets
+the :class:`~repro.experiments.store.ArtifactStore` key priced
+populations on the spec fingerprint alone.
+
+Override construction is validated the way
+:class:`~repro.experiments.registry.ExperimentSpec` validates runner
+overrides: unknown field names raise
+:class:`~repro.errors.ConfigError` with a difflib did-you-mean
+suggestion instead of a late ``TypeError``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+from typing import Dict, Tuple
+
+from ..errors import ConfigError
+
+#: Offset separating the operand stream from the sampler streams, so a
+#: spec's ``seed`` never reuses draws between dies and stimulus.
+STREAM_SEED_OFFSET = 104_729
+
+
+def _suggestion(name: str, known) -> str:
+    close = difflib.get_close_matches(name, sorted(known), n=1)
+    return " -- did you mean %r?" % close[0] if close else ""
+
+
+@dataclasses.dataclass(frozen=True)
+class MonteCarloSpec:
+    """Frozen configuration of one Monte Carlo population.
+
+    Attributes:
+        num_dies: Dies to sample.
+        sigma_global_v: Inter-die (chip-wide) Vth sigma in volts --
+            every cell of a die shares this draw.
+        sigma_spatial_v: Intra-die spatially-correlated Vth sigma in
+            volts (systematic across-die gradients and lithography
+            stripes), realized as a coarse Gaussian patch grid
+            bilinearly interpolated over the synthetic floorplan.
+        sigma_random_v: Per-cell independent Vth sigma in volts (random
+            dopant fluctuation).
+        correlation_length: Patch spacing of the spatial component in
+            floorplan cell units (larger = smoother gradients).
+        max_shift_v: Symmetric clip on the summed per-cell shift, so a
+            pathological tail cannot consume the whole gate overdrive.
+        years: Ascending aging-year grid (year 0 = fresh).
+        clock_fractions: Ascending clock-period grid as fractions of
+            the fresh critical path delay.
+        num_patterns: Operand patterns in the shared workload stream.
+        seed: Master seed: die ``d`` samples from substream
+            ``(seed, d)``; the operand stream draws from
+            ``seed + STREAM_SEED_OFFSET``.
+        die_chunk: Dies per batched replay slab (``die_chunk *
+            len(years)`` delay-scale rows priced per
+            :class:`~repro.timing.replay.ArrivalReplay` call).
+        target_yield: Timing-yield floor the guard-band tuner must meet
+            when picking the smallest Skip-n per (year, clock) point.
+    """
+
+    num_dies: int = 1000
+    sigma_global_v: float = 0.015
+    sigma_spatial_v: float = 0.012
+    sigma_random_v: float = 0.008
+    correlation_length: float = 4.0
+    max_shift_v: float = 0.12
+    years: Tuple[float, ...] = (0.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+    clock_fractions: Tuple[float, ...] = (
+        0.55, 0.62, 0.69, 0.76, 0.83, 0.90, 0.97, 1.04, 1.11, 1.18, 1.25,
+    )
+    num_patterns: int = 512
+    seed: int = 2025
+    die_chunk: int = 384
+    target_yield: float = 0.99
+
+    def __post_init__(self):
+        if not isinstance(self.num_dies, int) or self.num_dies < 1:
+            raise ConfigError(
+                "num_dies must be a positive int, got %r" % (self.num_dies,)
+            )
+        for name in ("sigma_global_v", "sigma_spatial_v", "sigma_random_v"):
+            if getattr(self, name) < 0:
+                raise ConfigError("%s must be non-negative" % name)
+        if self.correlation_length <= 0:
+            raise ConfigError("correlation_length must be positive")
+        if self.max_shift_v <= 0:
+            raise ConfigError("max_shift_v must be positive")
+        object.__setattr__(self, "years", tuple(float(y) for y in self.years))
+        if not self.years:
+            raise ConfigError("years grid must be non-empty")
+        if any(y < 0 for y in self.years):
+            raise ConfigError("years must be non-negative")
+        if list(self.years) != sorted(set(self.years)):
+            raise ConfigError("years must be strictly ascending")
+        object.__setattr__(
+            self,
+            "clock_fractions",
+            tuple(float(f) for f in self.clock_fractions),
+        )
+        if not self.clock_fractions:
+            raise ConfigError("clock_fractions must be non-empty")
+        if any(f <= 0 for f in self.clock_fractions):
+            raise ConfigError("clock_fractions must be positive")
+        if list(self.clock_fractions) != sorted(set(self.clock_fractions)):
+            raise ConfigError("clock_fractions must be strictly ascending")
+        if not isinstance(self.num_patterns, int) or self.num_patterns < 1:
+            raise ConfigError("num_patterns must be a positive int")
+        if not isinstance(self.seed, int):
+            raise ConfigError("seed must be an int, got %r" % (self.seed,))
+        if not isinstance(self.die_chunk, int) or self.die_chunk < 1:
+            raise ConfigError("die_chunk must be a positive int")
+        if not 0.0 < self.target_yield <= 1.0:
+            raise ConfigError("target_yield must lie in (0, 1]")
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in dataclasses.fields(cls))
+
+    @classmethod
+    def from_overrides(cls, **overrides) -> "MonteCarloSpec":
+        """Build a spec from keyword overrides, rejecting unknown names
+        with a did-you-mean :class:`~repro.errors.ConfigError`."""
+        known = cls.field_names()
+        for name in overrides:
+            if name not in known:
+                raise ConfigError(
+                    "MonteCarloSpec does not accept %r%s (accepted: %s)"
+                    % (name, _suggestion(name, known), ", ".join(known))
+                )
+        return cls(**overrides)
+
+    def replace(self, **overrides) -> "MonteCarloSpec":
+        """A sibling spec with validated overrides applied."""
+        known = self.field_names()
+        for name in overrides:
+            if name not in known:
+                raise ConfigError(
+                    "MonteCarloSpec does not accept %r%s (accepted: %s)"
+                    % (name, _suggestion(name, known), ", ".join(known))
+                )
+        return dataclasses.replace(self, **overrides)
+
+    def fingerprint(self) -> Dict:
+        """JSON-ready key dict -- the sampler-config part of every
+        population / surface artifact key."""
+        data = dataclasses.asdict(self)
+        data["years"] = list(self.years)
+        data["clock_fractions"] = list(self.clock_fractions)
+        # die_chunk only batches work; it cannot change any result, so
+        # it must not invalidate stored populations.
+        data.pop("die_chunk")
+        return data
+
+    @property
+    def stream_seed(self) -> int:
+        return self.seed + STREAM_SEED_OFFSET
+
+    @property
+    def num_years(self) -> int:
+        return len(self.years)

@@ -229,4 +229,9 @@ def _cmd_bench(args) -> int:
 
 
 if __name__ == "__main__":
+    print(
+        "note: 'python -m repro.service' is deprecated; use"
+        " 'python -m repro service' (same arguments)",
+        file=sys.stderr,
+    )
     sys.exit(main())

@@ -19,7 +19,10 @@ per-die delay-scale arrays; ``ext`` users combine them with
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, Optional
+import difflib
+import math
+import warnings
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
@@ -43,6 +46,35 @@ class ProcessVariation:
     def __post_init__(self):
         if self.sigma_global < 0 or self.sigma_local < 0:
             raise ConfigError("sigmas must be non-negative")
+
+    @classmethod
+    def from_spec(cls, spec, technology=None) -> "ProcessVariation":
+        """Map a :class:`~repro.montecarlo.spec.MonteCarloSpec`'s
+        Vth-space sigma split onto this legacy lognormal delay model.
+
+        Linearizing the alpha-power law around zero shift,
+        ``d(log delay)/dVth = alpha_sat / overdrive``, so each volt
+        sigma maps to a log-delay sigma of ``alpha_sat * sigma_v /
+        overdrive`` (mean p/n overdrive).  The spatial and random
+        intra-die components fold into one independent per-cell sigma
+        (this model carries no floorplan; the full correlated treatment
+        lives in :mod:`repro.montecarlo.sampler`).
+        """
+        if technology is None:
+            from ..config import DEFAULT_TECHNOLOGY
+
+            technology = DEFAULT_TECHNOLOGY
+        overdrive = 0.5 * (
+            technology.gate_overdrive_p + technology.gate_overdrive_n
+        )
+        slope = technology.alpha_sat / overdrive
+        local_v = math.sqrt(
+            spec.sigma_spatial_v ** 2 + spec.sigma_random_v ** 2
+        )
+        return cls(
+            sigma_global=slope * spec.sigma_global_v,
+            sigma_local=slope * local_v,
+        )
 
     def sample_die(
         self, netlist: Netlist, rng: np.random.Generator
@@ -100,16 +132,65 @@ class YieldReport:
         spread = self.latencies_ns.max() - self.latencies_ns.min()
         return float(spread / self.latencies_ns.mean())
 
+    # -- serialization protocol (repro.analysis.serialize) -------------
+
+    def summary(self) -> Dict:
+        """Flat JSON-ready scalars."""
+        mean_error = (
+            float(self.error_rates.mean()) if self.num_dies else 0.0
+        )
+        return {
+            "num_dies": self.num_dies,
+            "yield_fraction": self.yield_fraction,
+            "mean_latency_ns": self.mean_latency_ns,
+            "worst_latency_ns": self.worst_latency_ns,
+            "latency_spread": self.latency_spread,
+            "mean_error_rate": mean_error,
+        }
+
+    def to_dict(self) -> Dict:
+        """Full JSON-ready round-trip payload."""
+        return {
+            "num_dies": self.num_dies,
+            "latencies_ns": self.latencies_ns.tolist(),
+            "error_rates": self.error_rates.tolist(),
+            "feasible": [bool(f) for f in self.feasible],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "YieldReport":
+        return YieldReport(
+            num_dies=int(data["num_dies"]),
+            latencies_ns=np.asarray(data["latencies_ns"], dtype=float),
+            error_rates=np.asarray(data["error_rates"], dtype=float),
+            feasible=np.asarray(data["feasible"], dtype=bool),
+        )
+
+
+#: Legacy keyword defaults of :func:`yield_analysis` (pre-spec API).
+_LEGACY_DEFAULTS = {
+    "num_dies": 25,
+    "num_patterns": 2000,
+    "variation": None,
+    "seed": 11,
+}
+
 
 def yield_analysis(
     architecture,
-    num_dies: int = 25,
-    num_patterns: int = 2000,
-    variation: Optional[ProcessVariation] = None,
-    seed: int = 11,
+    spec=None,
     years: float = 0.0,
+    **legacy,
 ) -> YieldReport:
     """Monte-Carlo the architecture across sampled dies.
+
+    Preferred calling convention: pass a :class:`~repro.montecarlo.spec
+    .MonteCarloSpec` -- its die count, pattern count, seed and sigma
+    split (via :meth:`ProcessVariation.from_spec`) configure the sweep;
+    ``years`` selects the single aging point this report evaluates.
+    The legacy keywords (``num_dies``, ``num_patterns``, ``variation``,
+    ``seed``) still work for one release behind a
+    ``DeprecationWarning``.
 
     Every die shares the workload; a die is *feasible* when no operation
     blew the two-cycle budget (the Razor safety envelope held).
@@ -119,7 +200,50 @@ def yield_analysis(
     :class:`~repro.timing.replay.ArrivalReplay` over the ``num_dies``
     corner axis -- bit-identical to compiling and running each die.
     """
-    variation = variation or ProcessVariation()
+    if isinstance(spec, int):
+        # Positional legacy call: yield_analysis(arch, 25, ...).
+        legacy.setdefault("num_dies", spec)
+        spec = None
+    unknown = set(legacy) - set(_LEGACY_DEFAULTS)
+    if unknown:
+        name = sorted(unknown)[0]
+        close = difflib.get_close_matches(
+            name, sorted(_LEGACY_DEFAULTS), n=1
+        )
+        raise ConfigError(
+            "yield_analysis() got unexpected keyword(s): %s%s"
+            % (
+                sorted(unknown),
+                " -- did you mean %r?" % close[0] if close else "",
+            )
+        )
+    if spec is not None:
+        if legacy:
+            raise ConfigError(
+                "pass either a MonteCarloSpec or the legacy keywords"
+                " (%s), not both" % sorted(legacy)
+            )
+        num_dies = spec.num_dies
+        num_patterns = spec.num_patterns
+        seed = spec.seed
+        variation = ProcessVariation.from_spec(
+            spec, architecture.technology
+        )
+    else:
+        if legacy:
+            warnings.warn(
+                "yield_analysis(num_dies=..., num_patterns=...,"
+                " variation=..., seed=...) is deprecated; pass a"
+                " repro.MonteCarloSpec instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        merged = dict(_LEGACY_DEFAULTS)
+        merged.update(legacy)
+        num_dies = merged["num_dies"]
+        num_patterns = merged["num_patterns"]
+        seed = merged["seed"]
+        variation = merged["variation"] or ProcessVariation()
     netlist = architecture.netlist
     rng = np.random.default_rng(seed)
     high = 1 << architecture.width

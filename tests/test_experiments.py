@@ -38,7 +38,7 @@ class TestRegistry:
             "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
             "fig25", "fig26", "fig27",
             "ext_em", "ext_baselines", "ext_faults", "ext_workloads",
-            "ext_vladder", "claims",
+            "ext_vladder", "claims", "mc_yield", "mc_guardband",
         }
         assert set(REGISTRY) == expected
 
@@ -74,7 +74,7 @@ class TestRegistry:
         extensions = {s.id for s in list_experiments(tag="extension")}
         assert extensions == {
             "ext_em", "ext_baselines", "ext_faults", "ext_workloads",
-            "ext_vladder",
+            "ext_vladder", "mc_yield", "mc_guardband",
         }
         papers = {s.id for s in list_experiments(tag="paper")}
         assert papers | extensions == set(REGISTRY)
