@@ -1,0 +1,192 @@
+"""Benchmark trend gate: diff fresh results against committed baselines.
+
+The bench harnesses write machine-readable artifacts to
+``benchmarks/results/BENCH_*.json``; this script compares them against
+the committed reference copies in ``benchmarks/baselines/`` and exits
+non-zero when a tracked metric regressed, so CI can gate on performance
+drift without eyeballing tables.
+
+Metric classification (by key suffix, applied recursively through
+nested dicts):
+
+* ``*speedup`` / ``*_factor`` / ``*_per_sec`` -- higher is better.
+  These are ratios or rates whose *relative* change is meaningful even
+  across somewhat different machines; they are the default gate set.
+* ``*seconds`` -- lower is better, but raw wall-clock is only
+  comparable on one machine class, so seconds participate only with
+  ``--include-seconds`` (off in CI, useful locally).
+* everything else (counts, flags, labels) -- reported only when it
+  changed shape, never gated.
+
+A metric present in the baseline but missing from the fresh results
+(or vice versa) is reported as schema drift and fails the gate --
+silently dropped coverage must not read as "no regressions".
+
+Usage::
+
+    python benchmarks/trend.py                 # gate vs baselines
+    python benchmarks/trend.py --max-regression 0.5
+    python benchmarks/trend.py --update        # bless current results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS_DIR = os.path.join(HERE, "results")
+BASELINES_DIR = os.path.join(HERE, "baselines")
+
+#: Key suffixes of gated higher-is-better metrics.
+HIGHER_IS_BETTER = ("speedup", "_factor", "_per_sec")
+#: Key suffix of (optionally gated) lower-is-better metrics.
+LOWER_IS_BETTER = ("seconds",)
+
+
+def _flatten(payload, prefix="") -> Iterator[Tuple[str, object]]:
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            yield from _flatten(payload[key], "%s%s." % (prefix, key))
+    else:
+        yield prefix[:-1] if prefix.endswith(".") else prefix, payload
+
+
+def _classify(path: str) -> str:
+    leaf = path.rsplit(".", 1)[-1]
+    if any(leaf.endswith(suffix) for suffix in HIGHER_IS_BETTER):
+        return "higher"
+    if any(leaf.endswith(suffix) for suffix in LOWER_IS_BETTER):
+        return "lower"
+    return "ignore"
+
+
+def compare_file(
+    baseline: Dict,
+    current: Dict,
+    max_regression: float,
+    include_seconds: bool,
+) -> Tuple[List[str], List[str]]:
+    """Returns (regressions, notes) for one results file pair."""
+    base = dict(_flatten(baseline))
+    cur = dict(_flatten(current))
+    regressions: List[str] = []
+    notes: List[str] = []
+    for path in sorted(set(base) | set(cur)):
+        kind = _classify(path)
+        if kind == "ignore":
+            continue
+        if kind == "lower" and not include_seconds:
+            continue
+        if path not in cur:
+            regressions.append("metric disappeared: %s" % path)
+            continue
+        if path not in base:
+            notes.append("new metric (not in baseline): %s" % path)
+            continue
+        old, new = base[path], cur[path]
+        if not isinstance(old, (int, float)) or not isinstance(
+            new, (int, float)
+        ):
+            continue
+        if old <= 0:
+            continue
+        change = (new - old) / old
+        if kind == "higher" and change < -max_regression:
+            regressions.append(
+                "%s: %.4g -> %.4g (%.0f%% worse)"
+                % (path, old, new, -100 * change)
+            )
+        elif kind == "lower" and change > max_regression:
+            regressions.append(
+                "%s: %.4g -> %.4g (%.0f%% slower)"
+                % (path, old, new, 100 * change)
+            )
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate benchmark results against committed baselines."
+    )
+    parser.add_argument(
+        "--results", default=RESULTS_DIR,
+        help="fresh results directory (default benchmarks/results)",
+    )
+    parser.add_argument(
+        "--baselines", default=BASELINES_DIR,
+        help="reference directory (default benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.3, metavar="FRAC",
+        help="tolerated fractional drop per metric (default 0.3)",
+    )
+    parser.add_argument(
+        "--include-seconds", action="store_true",
+        help="also gate raw *_seconds metrics (same-machine runs only)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="copy current results over the baselines and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        os.makedirs(args.baselines, exist_ok=True)
+        copied = 0
+        for name in sorted(os.listdir(args.results)):
+            if name.endswith(".json"):
+                shutil.copyfile(
+                    os.path.join(args.results, name),
+                    os.path.join(args.baselines, name),
+                )
+                copied += 1
+                print("blessed %s" % name)
+        print("updated %d baseline(s) in %s" % (copied, args.baselines))
+        return 0
+
+    if not os.path.isdir(args.baselines):
+        print(
+            "no baselines directory %s (run with --update to create)"
+            % args.baselines,
+            file=sys.stderr,
+        )
+        return 2
+
+    failed = False
+    checked = 0
+    for name in sorted(os.listdir(args.baselines)):
+        if not name.endswith(".json"):
+            continue
+        current_path = os.path.join(args.results, name)
+        if not os.path.exists(current_path):
+            # Only gate artifacts the current run produced: CI bench
+            # jobs run one harness at a time, each writing one file.
+            print("%-26s skipped (no fresh results)" % name)
+            continue
+        with open(os.path.join(args.baselines, name)) as fh:
+            baseline = json.load(fh)
+        with open(current_path) as fh:
+            current = json.load(fh)
+        regressions, notes = compare_file(
+            baseline, current, args.max_regression, args.include_seconds
+        )
+        checked += 1
+        status = "OK" if not regressions else "REGRESSED"
+        print("%-26s %s" % (name, status))
+        for note in notes:
+            print("    note: %s" % note)
+        for regression in regressions:
+            print("    FAIL: %s" % regression)
+            failed = True
+    if checked == 0:
+        print("nothing to compare (no overlapping result files)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,10 @@ COMMANDS = {
         "repro.montecarlo.cli",
         "correlated process-variation x aging Monte Carlo",
     ),
+    "distrib": (
+        "repro.distrib.__main__",
+        "distributed campaign workers (worker / exec / ping / shutdown)",
+    ),
 }
 
 

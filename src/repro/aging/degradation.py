@@ -180,6 +180,9 @@ class AgedCircuitFactory:
     netlist: Netlist
     stress: StressProfile
     technology: Technology = DEFAULT_TECHNOLOGY
+    #: Execution backend every compiled circuit uses (``"numba"`` falls
+    #: back to ``"soa"`` when numba is absent; results are identical).
+    kernel: str = "soa"
 
     def __post_init__(self):
         self._cache: Dict[float, CompiledCircuit] = {}
@@ -194,6 +197,7 @@ class AgedCircuitFactory:
         num_patterns: int = 2000,
         seed: int = 2014,
         stimulus: Optional[Dict[str, np.ndarray]] = None,
+        kernel: str = "soa",
     ) -> "AgedCircuitFactory":
         """Measure stress on a random (or supplied) workload."""
         stress = cls.characterize_stress(
@@ -203,7 +207,7 @@ class AgedCircuitFactory:
             seed=seed,
             stimulus=stimulus,
         )
-        return cls(netlist, stress, technology)
+        return cls(netlist, stress, technology, kernel)
 
     @staticmethod
     def characterize_stress(
@@ -239,11 +243,12 @@ class AgedCircuitFactory:
         if key not in self._cache:
             if years == 0:
                 self._cache[key] = CompiledCircuit(
-                    self.netlist, self.technology
+                    self.netlist, self.technology, kernel=self.kernel
                 )
             else:
                 self._cache[key] = CompiledCircuit(
-                    self.netlist, self.technology, self.delay_scale(years)
+                    self.netlist, self.technology,
+                    self.delay_scale(years), kernel=self.kernel,
                 )
         return self._cache[key]
 

@@ -34,6 +34,15 @@ from .registry import get_experiment, list_experiments
 from .store import ArtifactStore
 
 
+def _kernel_arg(text: str) -> str:
+    from ..timing.engine import normalize_kernel
+
+    try:
+        return normalize_kernel(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -85,6 +94,20 @@ def main(argv=None) -> int:
         help="write a JSON map of experiment id -> rendered output"
         " (the byte-identity surface for serial-vs-parallel checks)",
     )
+    parser.add_argument(
+        "--kernel",
+        type=_kernel_arg,
+        default="soa",
+        help="gate-kernel backend: soa, percell or numba (all"
+        " bit-identical; numba falls back to soa when unavailable)",
+    )
+    parser.add_argument(
+        "--pool",
+        metavar="SPEC",
+        default=None,
+        help="worker pool: local:N, tcp:host:port,... or manifest:DIR"
+        " (see 'python -m repro distrib')",
+    )
     args = parser.parse_args(argv)
 
     if not args.experiment:
@@ -125,14 +148,25 @@ def _run(args) -> int:
         print(entry.rendered)
         print()
 
-    suite = run_suite(
-        names=names,
-        tag=args.tag if args.experiment == "all" else None,
-        scale=args.scale,
-        jobs=args.jobs,
-        store=store,
-        on_result=emit,
-    )
+    pool = None
+    if args.pool is not None:
+        from ..distrib.pool import parse_pool_spec
+
+        pool = parse_pool_spec(args.pool)
+    try:
+        suite = run_suite(
+            names=names,
+            tag=args.tag if args.experiment == "all" else None,
+            scale=args.scale,
+            jobs=args.jobs,
+            store=store,
+            on_result=emit,
+            kernel=args.kernel,
+            pool=pool,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
     print(suite.render())
 
     if args.dump_rendered:

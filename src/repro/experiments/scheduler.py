@@ -213,7 +213,7 @@ _WORKER_CONTEXT: Optional[ExperimentContext] = None
 
 
 def _init_worker(technology, config, scale, characterize_patterns,
-                 store_dir) -> None:
+                 store_dir, kernel="soa") -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = ExperimentContext(
         technology=technology,
@@ -221,6 +221,7 @@ def _init_worker(technology, config, scale, characterize_patterns,
         scale=scale,
         characterize_patterns=characterize_patterns,
         store=ArtifactStore(store_dir),
+        kernel=kernel,
     )
 
 
@@ -306,6 +307,8 @@ def run_suite(
     characterize_patterns: int = 2000,
     context: Optional[ExperimentContext] = None,
     on_result: Optional[Callable[[SuiteEntry], None]] = None,
+    kernel: str = "soa",
+    pool=None,
 ) -> SuiteResult:
     """Run a set of experiments, optionally in parallel over a store.
 
@@ -324,6 +327,12 @@ def run_suite(
             technology/config/scale win over the other arguments).
         on_result: Called with each :class:`SuiteEntry` as soon as it
             is finalized, always in request order.
+        kernel: Execution backend every worker context compiles
+            circuits with (all backends are bit-identical).
+        pool: Optional :class:`~repro.distrib.pool.WorkerPool`;
+            experiments run on its workers (default technology/config
+            only -- job specs travel as JSON) and return rendered text,
+            byte-identical to the serial run.
 
     Returns:
         A :class:`SuiteResult`; entry order matches the request order,
@@ -339,23 +348,81 @@ def run_suite(
         raise ConfigError("an explicit context forces a serial run")
 
     start = time.perf_counter()
-    if jobs == 1 or len(names) <= 1:
+    if pool is not None:
+        if (technology is not DEFAULT_TECHNOLOGY
+                or config is not DEFAULT_SIM_CONFIG):
+            raise ConfigError(
+                "pooled suites rebuild state from JSON job specs,"
+                " which only carry the default technology/config"
+            )
+        result = _run_pooled(
+            plan, scale, characterize_patterns, kernel, pool, on_result,
+        )
+    elif jobs == 1 or len(names) <= 1:
         result = _run_serial(
             plan, scale, store, technology, config,
-            characterize_patterns, context, on_result,
+            characterize_patterns, context, on_result, kernel,
         )
     else:
         result = _run_parallel(
             plan, scale, jobs, store, technology, config,
-            characterize_patterns, on_result,
+            characterize_patterns, on_result, kernel,
         )
     result.wall_s = time.perf_counter() - start
     return result
 
 
+def _run_pooled(
+    plan, scale, characterize_patterns, kernel, pool, on_result,
+) -> SuiteResult:
+    """Fan the experiments out over a :class:`WorkerPool`.
+
+    Workers rebuild an :class:`ExperimentContext` from the job spec and
+    return rendered text -- the same transport as the process pool, so
+    outputs stay byte-identical to the serial run.
+    """
+    from ..distrib.pool import run_suite_pooled
+
+    requests = [
+        {
+            "job": "experiment",
+            "name": name,
+            "scale": scale,
+            "characterize_patterns": characterize_patterns,
+            "kernel": kernel,
+        }
+        for name in plan.names
+    ]
+    responses = run_suite_pooled(pool, requests)
+    entries: List[SuiteEntry] = []
+    for name, response in zip(plan.names, responses):
+        if response.get("error"):
+            entry = _error_entry(name, response["error"])
+        else:
+            entry = SuiteEntry(
+                name=name,
+                title=response["title"],
+                rendered=response["rendered"],
+                elapsed=float(response.get("elapsed", 0.0)),
+                store_delta={},
+            )
+        entries.append(entry)
+        if on_result is not None:
+            on_result(entry)
+    return SuiteResult(
+        entries=entries,
+        plan=plan,
+        jobs=pool.size,
+        wall_s=0.0,
+        warmup_s=0.0,
+        store_dir=None,
+        store_counters=None,
+    )
+
+
 def _run_serial(
     plan, scale, store, technology, config, characterize_patterns,
-    context, on_result,
+    context, on_result, kernel="soa",
 ) -> SuiteResult:
     ctx = context or ExperimentContext(
         technology=technology,
@@ -363,6 +430,7 @@ def _run_serial(
         scale=scale,
         characterize_patterns=characterize_patterns,
         store=store,
+        kernel=kernel,
     )
     warmup_start = time.perf_counter()
     for width, kind in plan.warmup_designs:
@@ -401,12 +469,14 @@ def _run_serial(
 
 def _make_executor(
     jobs, technology, config, scale, characterize_patterns, store_dir,
+    kernel="soa",
 ) -> ProcessPoolExecutor:
     return ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_init_worker,
         initargs=(
             technology, config, scale, characterize_patterns, store_dir,
+            kernel,
         ),
     )
 
@@ -430,7 +500,7 @@ def _error_entry(name: str, error) -> SuiteEntry:
 
 def _run_parallel(
     plan, scale, jobs, store, technology, config,
-    characterize_patterns, on_result,
+    characterize_patterns, on_result, kernel="soa",
 ) -> SuiteResult:
     temp_dir = None
     if store is None:
@@ -439,7 +509,7 @@ def _run_parallel(
     jobs = min(jobs, len(plan.names))
     executor = _make_executor(
         jobs, technology, config, scale, characterize_patterns,
-        store.directory,
+        store.directory, kernel,
     )
     try:
         warmup_start = time.perf_counter()
@@ -523,7 +593,7 @@ def _run_parallel(
             executor.shutdown(wait=False, cancel_futures=True)
             executor = _make_executor(
                 jobs, technology, config, scale,
-                characterize_patterns, store.directory,
+                characterize_patterns, store.directory, kernel,
             )
             remaining.sort(key=_spec_weight)
             if pool_broke_before:
@@ -540,6 +610,7 @@ def _run_parallel(
                         executor = _make_executor(
                             jobs, technology, config, scale,
                             characterize_patterns, store.directory,
+                            kernel,
                         )
                 remaining = []
             pool_broke_before = True

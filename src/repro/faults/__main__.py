@@ -7,6 +7,15 @@ Usage::
     python -m repro.faults run --width 8 --sites 60 --patterns 2000 \\
         --workers 4 --checkpoint campaign.jsonl
 
+    # distributed: each host runs one shard of the site list...
+    python -m repro.faults run --sites 60 --shard 1/2 --checkpoint a.jsonl
+    python -m repro.faults run --sites 60 --shard 2/2 --checkpoint b.jsonl
+    # ...and the merge fuses the checkpoints, byte-identical to serial
+    python -m repro.faults merge --sites 60 --checkpoint a.jsonl b.jsonl
+
+    # or dispatch sites through a worker pool (local / tcp / manifest)
+    python -m repro.faults run --sites 60 --pool tcp:hostA:9100,hostB:9100
+
     # serial-vs-sharded wall-clock benchmark, JSON artifact included
     python -m repro.faults bench --sites 52 --patterns 400 --workers 2 \\
         --json benchmarks/results/campaign_scaling.json
@@ -21,31 +30,57 @@ import argparse
 import os
 import sys
 import time
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
-from ..core.architecture import AgingAwareMultiplier
 from ..errors import CampaignInterrupted, ReproError
-from .campaign import InjectionCampaign
+from .campaign import (
+    InjectionCampaign,
+    campaign_from_spec,
+    merge_campaign_shards,
+)
+
+
+def _kernel_arg(text: str) -> str:
+    from ..timing.engine import normalize_kernel
+
+    try:
+        return normalize_kernel(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _shard_arg(text: str) -> Tuple[int, int]:
+    index, sep, count = text.partition("/")
+    try:
+        pair = (int(index), int(count)) if sep else None
+    except ValueError:
+        pair = None
+    if pair is None or not 1 <= pair[0] <= pair[1]:
+        raise argparse.ArgumentTypeError(
+            "shard must be I/N with 1 <= I <= N, got %r" % (text,)
+        )
+    return pair
+
+
+def spec_from_args(args) -> Dict:
+    """The JSON-able campaign spec (the distributed transport: workers
+    and ``merge`` rebuild the identical campaign from these fields)."""
+    return {
+        "width": args.width,
+        "kind": args.kind,
+        "skip": args.skip,
+        "cycle_fraction": args.cycle_fraction,
+        "sites": args.sites,
+        "patterns": args.patterns,
+        "seed": args.seed,
+        "years": args.years,
+        "characterize_patterns": args.characterize_patterns,
+        "kernel": args.kernel,
+    }
 
 
 def build_campaign(args) -> InjectionCampaign:
-    mult = AgingAwareMultiplier.build(
-        args.width,
-        args.kind,
-        skip=args.skip,
-        cycle_ns=None,
-        characterize_patterns=args.characterize_patterns,
-    )
-    mult = mult.with_cycle(
-        args.cycle_fraction * mult.critical_path_ns()
-    )
-    return InjectionCampaign.sweep(
-        mult,
-        num_sites=args.sites,
-        num_patterns=args.patterns,
-        seed=args.seed,
-        years=args.years,
-    )
+    return campaign_from_spec(spec_from_args(args))
 
 
 def _progress(report, completed, total) -> None:
@@ -67,14 +102,28 @@ def _write_json(path: str, payload) -> None:
 
 def cmd_run(args) -> int:
     campaign = build_campaign(args)
+    site_range = None
+    if args.shard is not None:
+        from ..experiments.scheduler import shard_ranges
+
+        index, count = args.shard
+        ranges = shard_ranges(len(campaign.faults), count)
+        site_range = ranges[index - 1] if index <= len(ranges) else (0, 0)
+    pool = None
+    if args.pool is not None:
+        from ..distrib.pool import parse_pool_spec
+
+        pool = parse_pool_spec(args.pool)
     print(
-        "%s: %d sites x %d patterns (workers=%d%s)"
+        "%s: %d sites x %d patterns (workers=%d%s%s%s)"
         % (
             campaign.architecture.name,
             len(campaign.faults),
             campaign.num_patterns,
             args.workers,
             ", checkpoint=%s" % args.checkpoint if args.checkpoint else "",
+            ", shard=%d/%d" % args.shard if args.shard else "",
+            ", pool=%s" % args.pool if args.pool else "",
         )
     )
     start = time.time()
@@ -85,6 +134,9 @@ def cmd_run(args) -> int:
             resume=not args.no_resume,
             prune=not args.no_prune,
             progress=None if args.quiet else _progress,
+            site_range=site_range,
+            pool=pool,
+            pool_spec=spec_from_args(args) if pool is not None else None,
         )
     except CampaignInterrupted as exc:
         sys.stderr.write("\n")
@@ -93,6 +145,9 @@ def cmd_run(args) -> int:
             print()
             print(exc.partial.render())
         return 130
+    finally:
+        if pool is not None:
+            pool.close()
     elapsed = time.time() - start
     print()
     print(result.render())
@@ -105,6 +160,22 @@ def cmd_run(args) -> int:
             result.resumed_sites,
         )
     )
+    if args.json:
+        _write_json(args.json, result)
+    return 0
+
+
+def cmd_merge(args) -> int:
+    """Fuse per-shard checkpoints into the full campaign result.
+
+    The campaign flags must match the ones the shards ran with (the
+    checkpoint header's fingerprint check enforces this); the output --
+    rendered table and ``--json`` artifact -- is byte-identical to a
+    single-host ``run`` with the same flags.
+    """
+    campaign = build_campaign(args)
+    result = merge_campaign_shards(campaign, args.checkpoint)
+    print(result.render())
     if args.json:
         _write_json(args.json, result)
     return 0
@@ -185,6 +256,11 @@ def make_parser() -> argparse.ArgumentParser:
     )
     common.add_argument("--workers", type=int, default=1)
     common.add_argument(
+        "--kernel", type=_kernel_arg, default="soa",
+        help="gate-kernel backend: soa, percell or numba (all"
+        " bit-identical; numba falls back to soa when unavailable)",
+    )
+    common.add_argument(
         "--no-prune", action="store_true",
         help="disable logic-cone pruning",
     )
@@ -207,7 +283,27 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="no per-site progress line"
     )
+    run.add_argument(
+        "--shard", type=_shard_arg, metavar="I/N", default=None,
+        help="run only shard I of N (contiguous site slice; merge the"
+        " per-shard checkpoints with the 'merge' subcommand)",
+    )
+    run.add_argument(
+        "--pool", metavar="SPEC", default=None,
+        help="worker pool: local:N, tcp:host:port,... or manifest:DIR"
+        " (see 'python -m repro distrib')",
+    )
     run.set_defaults(func=cmd_run)
+
+    merge = sub.add_parser(
+        "merge", parents=[common],
+        help="fuse per-shard checkpoints into the full campaign result",
+    )
+    merge.add_argument(
+        "--checkpoint", metavar="PATH", nargs="+", required=True,
+        help="the shard checkpoint files (any order)",
+    )
+    merge.set_defaults(func=cmd_merge)
 
     bench = sub.add_parser(
         "bench", parents=[common],

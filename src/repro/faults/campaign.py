@@ -284,6 +284,84 @@ class CampaignResult:
         return header + "\n" + extras + "\n" + table
 
 
+def campaign_from_spec(spec: Dict) -> "InjectionCampaign":
+    """Rebuild a campaign from a small JSON-able spec dict.
+
+    This is the distributed transport: remote workers and the
+    ``faults merge`` subcommand reconstruct the exact campaign from the
+    same handful of CLI-level parameters instead of shipping pickled
+    state, relying on the campaign's determinism contract (operand
+    streams and site enumeration are pure functions of the spec).
+    """
+    mult = AgingAwareMultiplier.build(
+        int(spec.get("width", 8)),
+        spec.get("kind", "column"),
+        skip=spec.get("skip"),
+        cycle_ns=None,
+        characterize_patterns=int(spec.get("characterize_patterns", 600)),
+    )
+    mult = mult.with_cycle(
+        float(spec.get("cycle_fraction", 0.6)) * mult.critical_path_ns()
+    )
+    return InjectionCampaign.sweep(
+        mult,
+        num_sites=int(spec.get("sites", 60)),
+        num_patterns=int(spec.get("patterns", 2000)),
+        seed=int(spec.get("seed", 7)),
+        years=float(spec.get("years", 0.0)),
+        kernel=spec.get("kernel", "soa"),
+    )
+
+
+def merge_campaign_shards(
+    campaign: "InjectionCampaign", checkpoints: Sequence[str]
+) -> CampaignResult:
+    """Fuse per-shard checkpoint files into the full campaign result.
+
+    Each shard ran ``campaign.run(site_range=..., checkpoint=...)`` on
+    some host; every checkpoint carries the same campaign fingerprint
+    (validated here), and together they must cover every site.  The
+    merged result is byte-identical -- rendered text and sorted JSON --
+    to a single-host ``campaign.run()``: the baseline is recomputed
+    deterministically and the resumed/simulated accounting is reported
+    as the serial run would (``resumed=0``,
+    ``simulated = total - pruned``), since "which host simulated which
+    site" is pure scheduling, not a property of the result.
+    """
+    from .store import CheckpointStore
+
+    if not checkpoints:
+        raise FaultError("no shard checkpoints to merge")
+    fingerprint = campaign.fingerprint()
+    restored: Dict[str, SiteReport] = {}
+    for path in checkpoints:
+        restored.update(CheckpointStore(path).load(fingerprint))
+    missing = [
+        site_id
+        for site_id in campaign.site_ids
+        if site_id not in restored
+    ]
+    if missing:
+        raise FaultError(
+            "shard merge incomplete: %d/%d sites missing (first: %s);"
+            " run the missing shards, then merge again"
+            % (len(missing), len(campaign.faults), missing[0])
+        )
+    sites = [restored[site_id] for site_id in campaign.site_ids]
+    pruned = sum(1 for report in sites if report.pruned)
+    return CampaignResult(
+        design=campaign.architecture.name,
+        num_patterns=campaign.num_patterns,
+        years=campaign.years,
+        baseline=campaign.run_pristine(),
+        sites=sites,
+        pruned_sites=pruned,
+        resumed_sites=0,
+        simulated_sites=len(sites) - pruned,
+        requested_sites=len(sites),
+    )
+
+
 def unique_site_ids(faults: Sequence[FaultModel]) -> List[str]:
     """Canonical site ids in campaign order, de-duplicated with ``#k``.
 
@@ -323,9 +401,16 @@ class InjectionCampaign:
         num_patterns: int = 2000,
         seed: int = 1,
         years: float = 0.0,
+        kernel: str = "soa",
     ):
+        from ..timing.engine import normalize_kernel
+
         if num_patterns < 1:
             raise FaultError("num_patterns must be >= 1")
+        # The kernel is pure execution strategy (all backends are
+        # bit-identical), so it deliberately stays out of
+        # :meth:`fingerprint` -- checkpoints interoperate across it.
+        self.kernel = normalize_kernel(kernel)
         for fault in faults:
             if not isinstance(fault, FaultModel):
                 raise FaultError("not a fault model: %r" % (fault,))
@@ -362,6 +447,7 @@ class InjectionCampaign:
         sites: str = "uniform",
         em_model=None,
         em_years: float = 10.0,
+        kernel: str = "soa",
     ) -> "InjectionCampaign":
         """Campaign over an automatically enumerated site sweep.
 
@@ -411,7 +497,8 @@ class InjectionCampaign:
                 % (sites,)
             )
         return cls(
-            architecture, site_list, num_patterns, seed=seed, years=years
+            architecture, site_list, num_patterns, seed=seed,
+            years=years, kernel=kernel,
         )
 
     # ------------------------------------------------------------------
@@ -448,6 +535,7 @@ class InjectionCampaign:
                 [],
                 self.architecture.technology,
                 delay_scale=self._base_scale,
+                kernel=self.kernel,
             )
         return self._pristine
 
@@ -471,6 +559,7 @@ class InjectionCampaign:
             [fault],
             arch.technology,
             delay_scale=self._base_scale,
+            kernel=self.kernel,
         )
         # ``fold=True`` only folds hook-free circuits (pure delay
         # faults); value-corrupting hooks make the engine bypass it, so
@@ -567,6 +656,9 @@ class InjectionCampaign:
         chunk_size: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
         observed_ports: Optional[Sequence[str]] = None,
+        site_range: Optional[Tuple[int, int]] = None,
+        pool=None,
+        pool_spec: Optional[Dict] = None,
     ) -> CampaignResult:
         """Run every site and collect the campaign result.
 
@@ -588,6 +680,16 @@ class InjectionCampaign:
                 finished site.
             observed_ports: Output ports the workload observes (pruning
                 granularity; default all).
+            site_range: Optional ``(lo, hi)`` slice of the site list to
+                run -- the manifest-sharding unit.  The partial result
+                carries only those sites; merging every shard's
+                checkpoint reproduces the full serial result exactly
+                (``python -m repro faults merge``).
+            pool: Optional :class:`~repro.distrib.pool.WorkerPool`;
+                pending sites are dispatched through it instead of a
+                local process pool (requires ``pool_spec``).
+            pool_spec: JSON-able campaign spec remote workers rebuild
+                this campaign from (see :func:`campaign_from_spec`).
 
         Raises:
             CampaignInterrupted: A SIGINT / :class:`KeyboardInterrupt`
@@ -596,7 +698,23 @@ class InjectionCampaign:
         """
         if workers < 1:
             raise FaultError("workers must be >= 1, got %d" % workers)
+        if pool is not None and pool_spec is None:
+            raise FaultError(
+                "a worker pool needs pool_spec (the JSON campaign spec"
+                " remote workers rebuild state from)"
+            )
         total = len(self.faults)
+        if site_range is None:
+            lo, hi = 0, total
+        else:
+            lo, hi = int(site_range[0]), int(site_range[1])
+            if not 0 <= lo <= hi <= total:
+                raise FaultError(
+                    "site_range (%d, %d) outside [0, %d]"
+                    % (lo, hi, total)
+                )
+        selected = range(lo, hi)
+        requested = len(selected)
         baseline = self.run_pristine()
 
         store = None
@@ -609,14 +727,14 @@ class InjectionCampaign:
 
         reports: List[Optional[SiteReport]] = [None] * total
         resumed = 0
-        for index, site_id in enumerate(self.site_ids):
-            hit = restored.get(site_id)
+        for index in selected:
+            hit = restored.get(self.site_ids[index])
             if hit is not None:
                 reports[index] = hit
                 resumed += 1
 
         pruned_indices = (
-            set(self.prunable_site_indices(observed_ports))
+            set(self.prunable_site_indices(observed_ports)) & set(selected)
             if prune
             else set()
         )
@@ -632,7 +750,7 @@ class InjectionCampaign:
             if store is not None:
                 store.append(self.site_ids[index], report)
             if progress is not None:
-                progress(report, completed, total)
+                progress(report, completed, requested)
 
         try:
             # Pruned sites are synthesized in-process: cheaper than the
@@ -650,12 +768,22 @@ class InjectionCampaign:
                 )
             pending = [
                 index
-                for index in range(total)
+                for index in selected
                 if reports[index] is None
             ]
             simulated_indices.extend(pending)
             if pending:
-                if workers > 1:
+                if pool is not None:
+                    from ..distrib.pool import run_campaign_pooled
+
+                    run_campaign_pooled(
+                        pool,
+                        pool_spec,
+                        pending,
+                        chunk_size=chunk_size,
+                        on_result=record,
+                    )
+                elif workers > 1:
                     from .parallel import run_sharded
 
                     run_sharded(
@@ -677,7 +805,10 @@ class InjectionCampaign:
             if store is not None:
                 store.close()
 
-        done_reports = [r for r in reports if r is not None]
+        done_reports = [
+            reports[index] for index in selected
+            if reports[index] is not None
+        ]
         pruned_count = sum(1 for r in done_reports if r.pruned)
         result = CampaignResult(
             design=self.architecture.name,
@@ -691,14 +822,14 @@ class InjectionCampaign:
                 1 for index in simulated_indices
                 if reports[index] is not None
             ),
-            requested_sites=total,
+            requested_sites=requested,
         )
         if interrupted:
             raise CampaignInterrupted(
                 "campaign interrupted after %d/%d sites%s"
                 % (
                     len(done_reports),
-                    total,
+                    requested,
                     ""
                     if checkpoint is None
                     else " (checkpoint %s flushed; rerun with resume=True"
@@ -706,6 +837,6 @@ class InjectionCampaign:
                 ),
                 partial=result,
                 completed=len(done_reports),
-                total=total,
+                total=requested,
             )
         return result

@@ -70,12 +70,12 @@ _MC_WORKER: Optional[Dict] = None
 
 def _init_mc_worker(
     netlist, stress, technology, spec, stimulus, zeros, width, skip,
-    clock_ns, config,
+    clock_ns, config, kernel="soa",
 ) -> None:
     from ..aging.degradation import AgedCircuitFactory
 
     global _MC_WORKER
-    factory = AgedCircuitFactory(netlist, stress, technology)
+    factory = AgedCircuitFactory(netlist, stress, technology, kernel)
     _MC_WORKER = {
         "factory": factory,
         "sampler": CorrelatedVthSampler(len(netlist.cells), spec),
@@ -135,6 +135,178 @@ def population_key(
     }
 
 
+def _pricing_inputs(spec: MonteCarloSpec, width: int, kind: str, context):
+    """Shared deterministic pricing setup: factory, stimulus, zero
+    counts and the clock grid derived from the fresh critical path."""
+    factory = context.factory(width, kind)
+    netlist = factory.netlist
+    md, mr = uniform_operands(width, spec.num_patterns, spec.stream_seed)
+    stimulus = {"md": md, "mr": mr}
+    zeros = count_zeros(_judged_operand(kind, md, mr), width)
+    plane = factory.value_plane(stimulus)
+    replayer = ArrivalReplay(factory.circuit(0.0), plane)
+    fresh = replayer.replay(np.ones((1, len(netlist.cells))))
+    base_period_ns = float(fresh.delays.max())
+    clock_ns = tuple(
+        float(f) * base_period_ns for f in spec.clock_fractions
+    )
+    return factory, netlist, stimulus, zeros, clock_ns, base_period_ns
+
+
+def mc_job_spec(
+    spec: MonteCarloSpec,
+    width: int,
+    kind: str,
+    skip: Optional[int],
+    characterize_patterns: int = 2000,
+    kernel: str = "soa",
+) -> Dict:
+    """The JSON-able job dict remote shard workers (and ``mc merge``)
+    rebuild the pricing problem from -- default technology/config only,
+    since those cannot travel as JSON."""
+    return {
+        "spec": spec.fingerprint(),
+        "width": int(width),
+        "kind": kind,
+        "skip": _resolve_skip(width, skip),
+        "characterize_patterns": int(characterize_patterns),
+        "kernel": kernel,
+    }
+
+
+def _shard_fingerprint(job: Dict) -> Dict:
+    """Shard-compatibility identity: everything that shapes the priced
+    numbers.  The kernel is excluded (backends are bit-identical), so
+    shards priced on different backends merge freely."""
+    return {
+        "spec": dict(job["spec"]),
+        "width": int(job["width"]),
+        "kind": job["kind"],
+        "skip": int(job["skip"]),
+        "characterize_patterns": int(job["characterize_patterns"]),
+    }
+
+
+def run_mc_shard(job: Dict, die_range) -> Dict:
+    """Price one contiguous die range from a JSON job spec.
+
+    Returns a JSON-safe shard payload (``fingerprint`` + ``die_range``
+    + the :meth:`PopulationReductions.to_payload` planes as lists);
+    :func:`merge_mc_shards` fuses the shards back into the exact
+    single-host result.
+    """
+    from ..experiments.context import ExperimentContext
+
+    spec = MonteCarloSpec.from_overrides(**dict(job.get("spec") or {}))
+    width = int(job.get("width", 8))
+    kind = job.get("kind", "column")
+    skip = _resolve_skip(width, job.get("skip"))
+    context = ExperimentContext(
+        characterize_patterns=int(job.get("characterize_patterns", 2000)),
+        kernel=job.get("kernel", "soa"),
+    )
+    factory, netlist, stimulus, zeros, clock_ns, _ = _pricing_inputs(
+        spec, width, kind, context
+    )
+    lo, hi = int(die_range[0]), int(die_range[1])
+    if not 0 <= lo <= hi <= spec.num_dies:
+        raise ConfigError(
+            "die_range (%d, %d) outside [0, %d]" % (lo, hi, spec.num_dies)
+        )
+    sampler = CorrelatedVthSampler(len(netlist.cells), spec)
+    reductions = price_population(
+        factory, sampler, spec, stimulus, zeros, width, skip, clock_ns,
+        config=context.config, die_range=(lo, hi),
+    )
+    payload = reductions.to_payload()
+    job = dict(job)
+    job.setdefault("skip", skip)
+    return {
+        "fingerprint": _shard_fingerprint(job),
+        "die_range": [lo, hi],
+        "meta": payload["meta"],
+        "arrays": {
+            name: np.asarray(array).tolist()
+            for name, array in payload["arrays"].items()
+        },
+    }
+
+
+def merge_mc_shards(
+    job: Dict, shards, num_bins: int = 32
+) -> MonteCarloResult:
+    """Fuse per-host shard payloads into the single-host result.
+
+    Shards must share this job's fingerprint and their die ranges must
+    tile ``[0, num_dies)`` contiguously; the merged analysis is then
+    byte-identical (as rendered text and sorted JSON) to a serial
+    :func:`run_montecarlo` with the same parameters.
+    """
+    from ..experiments.context import ExperimentContext
+
+    spec = MonteCarloSpec.from_overrides(**dict(job.get("spec") or {}))
+    width = int(job.get("width", 8))
+    kind = job.get("kind", "column")
+    skip = _resolve_skip(width, job.get("skip"))
+    job = dict(job)
+    job.setdefault("skip", skip)
+    want_fp = _shard_fingerprint(job)
+    if not shards:
+        raise ConfigError("no shards to merge")
+    for shard in shards:
+        if shard.get("fingerprint") != want_fp:
+            raise ConfigError(
+                "shard was priced under a different configuration"
+                " (fingerprint mismatch); refusing to merge"
+            )
+    shards = sorted(shards, key=lambda s: int(s["die_range"][0]))
+    cursor = 0
+    for shard in shards:
+        lo, hi = (int(v) for v in shard["die_range"])
+        if lo != cursor:
+            raise ConfigError(
+                "shard die ranges do not tile [0, %d) contiguously:"
+                " expected a shard starting at die %d, got (%d, %d)"
+                % (spec.num_dies, cursor, lo, hi)
+            )
+        cursor = hi
+    if cursor != spec.num_dies:
+        raise ConfigError(
+            "shards cover %d of %d dies; refusing to merge a partial"
+            " population" % (cursor, spec.num_dies)
+        )
+    parts = [
+        PopulationReductions.from_payload(
+            {"meta": shard["meta"], "arrays": shard["arrays"]}
+        )
+        for shard in shards
+    ]
+    reductions = PopulationReductions.concat(parts)
+    context = ExperimentContext(
+        characterize_patterns=int(job.get("characterize_patterns", 2000)),
+        kernel=job.get("kernel", "soa"),
+    )
+    _, netlist, _, _, _, base_period_ns = _pricing_inputs(
+        spec, width, kind, context
+    )
+    design = {
+        "width": width,
+        "kind": kind,
+        "num_cells": len(netlist.cells),
+        "characterize_patterns": int(
+            job.get("characterize_patterns", 2000)
+        ),
+    }
+    return analyze_population(
+        reductions,
+        spec,
+        base_period_ns,
+        design=design,
+        config=context.config,
+        num_bins=num_bins,
+    )
+
+
 def run_montecarlo(
     spec: MonteCarloSpec,
     width: int = 8,
@@ -147,6 +319,8 @@ def run_montecarlo(
     config: SimulationConfig = DEFAULT_SIM_CONFIG,
     characterize_patterns: int = 2000,
     num_bins: int = 32,
+    kernel: str = "soa",
+    pool=None,
 ) -> MonteCarloResult:
     """Sample, price and analyze one die population.
 
@@ -191,27 +365,27 @@ def run_montecarlo(
             config=config,
             characterize_patterns=characterize_patterns,
             store=store,
+            kernel=kernel,
         )
     else:
         technology = context.technology
         config = context.config
         characterize_patterns = context.characterize_patterns
         store = context.store
+        kernel = context.kernel
+    if pool is not None and (
+        technology is not DEFAULT_TECHNOLOGY
+        or config is not DEFAULT_SIM_CONFIG
+    ):
+        raise ConfigError(
+            "distributed MC shards rebuild state from a JSON job spec,"
+            " which only carries the default technology/config"
+        )
 
-    factory = context.factory(width, kind)
-    netlist = factory.netlist
-    md, mr = uniform_operands(width, spec.num_patterns, spec.stream_seed)
-    stimulus = {"md": md, "mr": mr}
-    zeros = count_zeros(_judged_operand(kind, md, mr), width)
-
-    # Base clock period: the population-free fresh critical path over
-    # this stimulus (a ones-row replay on the shared value plane).
-    plane = factory.value_plane(stimulus)
-    replayer = ArrivalReplay(factory.circuit(0.0), plane)
-    fresh = replayer.replay(np.ones((1, len(netlist.cells))))
-    base_period_ns = float(fresh.delays.max())
-    clock_ns = tuple(
-        float(f) * base_period_ns for f in spec.clock_fractions
+    # Base clock period inputs: the population-free fresh critical path
+    # over this stimulus (a ones-row replay on the shared value plane).
+    factory, netlist, stimulus, zeros, clock_ns, base_period_ns = (
+        _pricing_inputs(spec, width, kind, context)
     )
 
     key = None
@@ -233,7 +407,22 @@ def run_montecarlo(
 
     if reductions is None:
         sampler = CorrelatedVthSampler(len(netlist.cells), spec)
-        if jobs == 1 or spec.num_dies == 1:
+        if pool is not None and spec.num_dies > 1:
+            from ..distrib.pool import run_mc_pooled
+
+            job = mc_job_spec(
+                spec, width, kind, skip, characterize_patterns, kernel
+            )
+            payloads = run_mc_pooled(
+                pool, job, shard_ranges(spec.num_dies, pool.size)
+            )
+            reductions = PopulationReductions.concat([
+                PopulationReductions.from_payload(
+                    {"meta": p["meta"], "arrays": p["arrays"]}
+                )
+                for p in payloads
+            ])
+        elif jobs == 1 or spec.num_dies == 1:
             reductions = price_population(
                 factory,
                 sampler,
@@ -252,7 +441,7 @@ def run_montecarlo(
                 initializer=_init_mc_worker,
                 initargs=(
                     netlist, factory.stress, technology, spec, stimulus,
-                    zeros, width, skip, clock_ns, config,
+                    zeros, width, skip, clock_ns, config, kernel,
                 ),
             ) as executor:
                 shards = list(executor.map(_price_shard, ranges))

@@ -24,7 +24,13 @@ variation sweep.
 power / energy-delay-product metrics.
 """
 
-from .engine import CompiledCircuit, StreamResult, auto_chunk_size
+from .engine import (
+    KERNELS,
+    CompiledCircuit,
+    StreamResult,
+    auto_chunk_size,
+    normalize_kernel,
+)
 from .event import EventSimulator, EventResult
 from .fold import FoldPlan, fold_stimulus, unfold_stream
 from .replay import (
@@ -43,6 +49,8 @@ from .vcd import render_vcd, write_vcd
 __all__ = [
     "ArrivalReplay",
     "CompiledCircuit",
+    "KERNELS",
+    "normalize_kernel",
     "FoldPlan",
     "StreamResult",
     "EventSimulator",

@@ -1,0 +1,849 @@
+"""Numba-JIT gate kernels: the ``kernel="numba"`` backend.
+
+The SoA kernel (:mod:`repro.timing.soa`) already turned the levelized
+cell loop into a dense array program, but it still pays one numpy
+dispatch per (level, opcode) bucket and materializes every intermediate
+mask.  This module compiles the *same* levelized plan into two fused
+``@njit(parallel=True, cache=True)`` kernels:
+
+* :func:`_phase1_values` -- the settled-value pass, parallel over
+  patterns (each pattern column walks the cells in topological order);
+* :func:`_phase2_timing` -- change/may/aux/arrival/transition/switched
+  computation, again parallel over pattern columns; and
+* :func:`_replay_pass` -- the active-entry arrival replay over a
+  recorded :class:`~repro.timing.replay.ValuePlane`, parallel over
+  pattern columns with a per-block arrival workspace.
+
+**Fallback semantics.**  numba is an optional dependency: when it is
+not importable, ``kernel="numba"`` silently degrades to the SoA path
+(:func:`jit_enabled` returns False and the engine dispatch falls
+through), so circuits compiled with the flag stay runnable -- and
+bit-identical, since both backends implement the same arithmetic.
+
+**Pure-python validation mode.**  The kernel bodies are written in the
+numba-compatible subset of Python, so they can also run *uncompiled*.
+Setting the ``REPRO_JIT_PURE_PYTHON`` environment variable (or calling
+:func:`force_python`) makes :func:`jit_enabled` true without numba and
+routes the exact kernel code through the plain interpreter.  That is
+how the equivalence suite exercises this backend's arithmetic on
+machines without numba (tiny circuits only -- it is slow).
+
+**Bit-identity contract** (asserted by ``tests/test_jit.py`` and the
+cross-kernel fuzz): every per-net / per-pattern quantity -- values,
+may-masks, aux masks, arrivals, transitions, delays, toggle and signal
+statistics -- is bit-identical to the SoA and per-cell kernels.  The
+per-element float sequences are the same IEEE ops in the same order;
+only the cross-cell *sum* of switched capacitance may differ by float
+association, exactly as between ``soa`` and ``percell``.
+
+Fault hooks: cells whose output net carries a hook are evaluated on the
+scalar numpy path between JIT segments (phase 1 stops at each hooked
+cell so downstream cells see the faulted values); phase 2 is a pure
+function of the completed value matrix, so it runs uniformly over all
+cells.  Arrival replay ignores hooks entirely, like the SoA replay.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nets.cells import (
+    OP_AND2,
+    OP_AND3,
+    OP_BUF,
+    OP_INV,
+    OP_MUX2,
+    OP_NAND2,
+    OP_NOR2,
+    OP_OR2,
+    OP_OR3,
+    OP_TRIBUF,
+    OP_XNOR2,
+    OP_XOR2,
+)
+from ..nets.netlist import CONST0, CONST1
+from . import logic
+
+try:  # pragma: no cover - exercised through both CI legs
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover
+    HAVE_NUMBA = False
+    prange = range
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+_FORCE_PYTHON = os.environ.get("REPRO_JIT_PURE_PYTHON", "") not in ("", "0")
+
+
+def force_python(enabled: bool = True) -> bool:
+    """Toggle the pure-python execution mode; returns the previous
+    setting.  With it on, :func:`jit_enabled` is true even without
+    numba and the kernel bodies run uncompiled."""
+    global _FORCE_PYTHON
+    previous = _FORCE_PYTHON
+    _FORCE_PYTHON = bool(enabled)
+    return previous
+
+
+def jit_enabled() -> bool:
+    """Whether the ``numba`` kernel path is runnable (numba importable,
+    or pure-python mode forced).  When False the engine silently falls
+    back to the SoA kernel."""
+    return HAVE_NUMBA or _FORCE_PYTHON
+
+
+def _fn(dispatcher):
+    """Resolve a kernel: the compiled dispatcher, or its original
+    Python function in pure-python mode."""
+    if _FORCE_PYTHON and hasattr(dispatcher, "py_func"):
+        return dispatcher.py_func
+    return dispatcher
+
+
+# Family codes for branch dispatch inside the kernels (numba cannot
+# consult the opcode dicts of :mod:`repro.timing.logic`).
+_FAM_BUF = 0
+_FAM_INV = 1
+_FAM_XOR = 2
+_FAM_XNOR = 3
+_FAM_CTRL = 4  # AND2/OR2/NAND2/NOR2/AND3/OR3 via (ctrl value, invert)
+_FAM_MUX = 5
+_FAM_TRI = 6
+
+_FAMILY = {
+    OP_BUF: _FAM_BUF,
+    OP_INV: _FAM_INV,
+    OP_XOR2: _FAM_XOR,
+    OP_XNOR2: _FAM_XNOR,
+    OP_AND2: _FAM_CTRL,
+    OP_AND3: _FAM_CTRL,
+    OP_NAND2: _FAM_CTRL,
+    OP_OR2: _FAM_CTRL,
+    OP_OR3: _FAM_CTRL,
+    OP_NOR2: _FAM_CTRL,
+    OP_MUX2: _FAM_MUX,
+    OP_TRIBUF: _FAM_TRI,
+}
+
+
+class JitPlan:
+    """Flat per-cell arrays of one compiled circuit, in levelized
+    (topological) order -- the structure both JIT kernels walk."""
+
+    __slots__ = (
+        "fam",
+        "ctrl",
+        "invert",
+        "npins",
+        "pins",
+        "outs",
+        "delays",
+        "fresh",
+        "cell_index",
+        "caps",
+        "aux_offsets",
+        "hooked_positions",
+        "grouped",
+        "src_nets",
+        "num_cells",
+        "num_aux",
+    )
+
+    def __init__(self, circuit):
+        cells = circuit._cells
+        count = len(cells)
+        self.num_cells = count
+        self.fam = np.zeros(count, dtype=np.int64)
+        self.ctrl = np.zeros(count, dtype=np.uint8)
+        self.invert = np.zeros(count, dtype=np.uint8)
+        self.npins = np.zeros(count, dtype=np.int64)
+        self.pins = np.full((count, 3), -1, dtype=np.int64)
+        self.outs = np.zeros(count, dtype=np.int64)
+        self.delays = np.zeros(count)
+        self.fresh = np.zeros(count)
+        self.cell_index = np.zeros(count, dtype=np.int64)
+        self.caps = np.zeros(count)
+        aux_counts = np.zeros(count, dtype=np.int64)
+        hooked = []
+        for i, compiled in enumerate(cells):
+            fam = _FAMILY[compiled.opcode]
+            self.fam[i] = fam
+            if fam == _FAM_CTRL:
+                self.ctrl[i] = logic.CONTROLLING_VALUE[compiled.opcode]
+                aux_counts[i] = len(compiled.inputs)
+            elif fam in (_FAM_MUX, _FAM_TRI):
+                aux_counts[i] = 1
+            if compiled.opcode in logic.INVERTING:
+                self.invert[i] = 1
+            self.npins[i] = len(compiled.inputs)
+            for q, pin in enumerate(compiled.inputs):
+                self.pins[i, q] = pin
+            self.outs[i] = compiled.output
+            self.delays[i] = compiled.delay_ns
+            self.fresh[i] = compiled.fresh_delay_ns
+            self.cell_index[i] = compiled.index
+            self.caps[i] = compiled.cap
+            if compiled.output in circuit.fault_hooks:
+                hooked.append(i)
+        self.aux_offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(aux_counts, out=self.aux_offsets[1:])
+        self.num_aux = int(self.aux_offsets[-1])
+        self.hooked_positions = hooked
+        group_enable = circuit.netlist.group_enables
+        self.grouped: List[Tuple[int, int]] = [
+            (c.output, group_enable[c.group])
+            for c in cells
+            if c.group is not None and c.group in group_enable
+        ]
+        self.src_nets = np.array(
+            [
+                net
+                for port in circuit.netlist.input_ports.values()
+                for net in port.nets
+            ],
+            dtype=np.int64,
+        )
+
+
+def get_plan(circuit) -> JitPlan:
+    """The circuit's cached :class:`JitPlan` (built on first use)."""
+    plan = getattr(circuit, "_jit_plan", None)
+    if plan is None:
+        plan = JitPlan(circuit)
+        circuit._jit_plan = plan
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Kernels.  All three are written in the numba-compatible Python subset
+# and run either compiled (numba present) or interpreted (pure-python
+# mode); the arithmetic per element is identical to the numpy kernels
+# in repro.timing.logic / repro.timing.replay.
+# ----------------------------------------------------------------------
+
+
+@njit(parallel=True, cache=True)
+def _phase1_values(VT, fam, ctrl, invert, npins, pins, outs, start, stop):
+    """Settled values for cells ``[start, stop)``, all pattern columns.
+
+    ``VT`` is the transposed ``(n, num_nets)`` uint8 value matrix --
+    each column's working set is one contiguous row.  Patterns are
+    independent, so the outer loop parallelizes over them; within a
+    pattern, cells evaluate in topological order.
+    """
+    n = VT.shape[0]
+    for j in prange(n):
+        row = VT[j]
+        for i in range(start, stop):
+            f = fam[i]
+            a = row[pins[i, 0]]
+            if f == 0 or f == 6:  # BUF / transparent TRIBUF
+                v = a
+            elif f == 1:  # INV
+                v = a ^ 1
+            elif f == 2:  # XOR2
+                v = a ^ row[pins[i, 1]]
+            elif f == 3:  # XNOR2
+                v = (a ^ row[pins[i, 1]]) ^ 1
+            elif f == 4:  # controlled gate family
+                if ctrl[i] == 0:
+                    v = a & row[pins[i, 1]]
+                    if npins[i] == 3:
+                        v = v & row[pins[i, 2]]
+                else:
+                    v = a | row[pins[i, 1]]
+                    if npins[i] == 3:
+                        v = v | row[pins[i, 2]]
+                if invert[i] == 1:
+                    v = v ^ 1
+            else:  # MUX2
+                if row[pins[i, 2]] != 0:
+                    v = row[pins[i, 1]]
+                else:
+                    v = a
+            row[outs[i]] = np.uint8(v)
+
+
+@njit(parallel=True, cache=True)
+def _phase2_timing(
+    VT,
+    MT,
+    CHT,
+    AT,
+    AUXT,
+    carry,
+    has_carry,
+    inertial,
+    record,
+    damping,
+    fam,
+    ctrl,
+    invert,
+    npins,
+    pins,
+    outs,
+    delays,
+    caps,
+    aux_off,
+    src_nets,
+    switched,
+):
+    """Change / may / aux / arrival / transition pass over the complete
+    value matrix.
+
+    Runs after (and independently of) the value pass: every quantity
+    here is a pure function of settled values, so hooked cells need no
+    special casing -- their rows of ``VT`` already hold faulted values.
+    Each pattern column is independent; per column the cells walk in
+    topological order with a local per-net transition-density vector.
+    Elementwise arithmetic mirrors ``logic.may_vector`` /
+    ``logic.arrival_masks`` / ``logic.transition_vector`` exactly.
+    """
+    n, num_nets = VT.shape
+    num_cells = fam.shape[0]
+    for j in prange(n):
+        vrow = VT[j]
+        mrow = MT[j]
+        chrow = CHT[j]
+        trans = np.zeros(num_nets)
+        # Primary-input nets: change flags seed may/transition state.
+        for s in range(src_nets.shape[0]):
+            net = src_nets[s]
+            if j == 0:
+                ch = has_carry and vrow[net] != carry[net]
+            else:
+                ch = vrow[net] != VT[j - 1, net]
+            chrow[net] = ch
+            mrow[net] = ch
+            if ch:
+                trans[net] = 1.0
+        sw = 0.0
+        for i in range(num_cells):
+            out = outs[i]
+            f = fam[i]
+            p0 = pins[i, 0]
+            if j == 0:
+                ch = has_carry and vrow[out] != carry[out]
+            else:
+                ch = vrow[out] != VT[j - 1, out]
+
+            base = 0.0
+            if f == 0 or f == 1:  # BUF / INV
+                m = mrow[p0]
+                if not record:
+                    base = AT[j, p0]
+                t = trans[p0]
+            elif f == 2 or f == 3:  # XOR2 / XNOR2
+                p1 = pins[i, 1]
+                m = mrow[p0] or mrow[p1]
+                if not record:
+                    a0 = AT[j, p0]
+                    a1 = AT[j, p1]
+                    base = a0 if a0 >= a1 else a1
+                t = trans[p0] + trans[p1]
+            elif f == 4:  # controlled gate family
+                cv = ctrl[i]
+                stable_ctrl = False
+                any_may = False
+                has_ctrl = False
+                ctrl_arr = np.inf
+                last = 0.0
+                for q in range(npins[i]):
+                    pq = pins[i, q]
+                    cq = vrow[pq] == cv
+                    mq = mrow[pq]
+                    if cq and not mq:
+                        stable_ctrl = True
+                    if mq:
+                        any_may = True
+                    if not record:
+                        aq = AT[j, pq]
+                        if cq:
+                            has_ctrl = True
+                            if aq < ctrl_arr:
+                                ctrl_arr = aq
+                        if aq > last:
+                            last = aq
+                m = any_may and not stable_ctrl
+                if not record:
+                    base = ctrl_arr if has_ctrl else last
+                p1 = pins[i, 1]
+                if npins[i] == 2:
+                    if cv == 0:
+                        s0 = 1.0 if vrow[p1] != 0 else 0.0
+                        s1 = 1.0 if vrow[p0] != 0 else 0.0
+                    else:
+                        s0 = 1.0 if vrow[p1] == 0 else 0.0
+                        s1 = 1.0 if vrow[p0] == 0 else 0.0
+                    t = trans[p0] * s0 + trans[p1] * s1
+                else:
+                    p2 = pins[i, 2]
+                    if cv == 0:
+                        s0 = 1.0 if (vrow[p1] & vrow[p2]) != 0 else 0.0
+                        s1 = 1.0 if (vrow[p0] & vrow[p2]) != 0 else 0.0
+                        s2 = 1.0 if (vrow[p0] & vrow[p1]) != 0 else 0.0
+                    else:
+                        s0 = 1.0 if (vrow[p1] | vrow[p2]) == 0 else 0.0
+                        s1 = 1.0 if (vrow[p0] | vrow[p2]) == 0 else 0.0
+                        s2 = 1.0 if (vrow[p0] | vrow[p1]) == 0 else 0.0
+                    t = (
+                        trans[p0] * s0
+                        + trans[p1] * s1
+                        + trans[p2] * s2
+                    )
+            elif f == 5:  # MUX2
+                p1 = pins[i, 1]
+                p2 = pins[i, 2]
+                sel = vrow[p2] != 0
+                m0 = mrow[p0]
+                m1 = mrow[p1]
+                pinned = (
+                    (not m0) and (not m1) and vrow[p0] == vrow[p1]
+                )
+                chosen_may = m1 if sel else m0
+                m = (mrow[p2] and not pinned) or chosen_may
+                if not record:
+                    chosen = AT[j, p1] if sel else AT[j, p0]
+                    a2 = AT[j, p2]
+                    base = a2 if a2 >= chosen else chosen
+                tsel = trans[p1] if sel else trans[p0]
+                t = tsel + trans[p2] * (
+                    1.0 if vrow[p0] != vrow[p1] else 0.0
+                )
+            else:  # TRIBUF
+                p1 = pins[i, 1]
+                en = vrow[p1] != 0
+                if mrow[p1]:
+                    m = True
+                else:
+                    m = en and mrow[p0]
+                if not record:
+                    a0 = AT[j, p0] if en else 0.0
+                    a1 = AT[j, p1]
+                    base = a1 if a1 >= a0 else a0
+                t = (
+                    trans[p0] * (1.0 if en else 0.0)
+                    + trans[p1] * 0.5
+                )
+
+            chrow[out] = ch
+            if inertial:
+                m = ch
+            mrow[out] = m
+            if record:
+                off = aux_off[i]
+                if f == 4:
+                    cv = ctrl[i]
+                    for q in range(npins[i]):
+                        AUXT[j, off + q] = (
+                            1 if vrow[pins[i, q]] == ctrl[i] else 0
+                        )
+                elif f == 5:
+                    AUXT[j, off] = 1 if vrow[pins[i, 2]] != 0 else 0
+                elif f == 6:
+                    AUXT[j, off] = 1 if vrow[pins[i, 1]] != 0 else 0
+            else:
+                AT[j, out] = base + delays[i] if m else 0.0
+            ot = t * damping
+            chf = 1.0 if ch else 0.0
+            if ot < chf:
+                ot = chf
+            trans[out] = ot
+            sw += ot * caps[i]
+        switched[j] = sw
+
+
+@njit(parallel=True, cache=True)
+def _replay_pass(
+    MAY,
+    AUXM,
+    scales,
+    fam,
+    npins,
+    pins,
+    outs,
+    fresh,
+    cell_index,
+    aux_off,
+    port_nets,
+    dch,
+    bch,
+    collect_bits,
+    num_nets,
+    block,
+):
+    """Active-entry arrival replay for one pattern chunk, all corners.
+
+    ``MAY`` / ``AUXM`` are the chunk's unpacked plane masks laid out
+    ``(c, num_nets)`` / ``(c, num_aux)``.  Pattern columns are
+    independent; blocks of columns share one ``(num_nets, k)`` arrival
+    workspace whose written rows are re-zeroed after each column, so
+    quiet entries stay exactly the reference kernel's
+    ``where(may, .., 0.0)`` zeros.  Per active entry the delay is
+    ``fresh * scale[corner, cell]`` -- the engine's per-cell delay at
+    every corner, bit for bit.
+    """
+    c = MAY.shape[0]
+    k = scales.shape[0]
+    num_cells = fam.shape[0]
+    nblocks = (c + block - 1) // block
+    for blk in prange(nblocks):
+        arr = np.zeros((num_nets, k))
+        j0 = blk * block
+        j1 = j0 + block
+        if j1 > c:
+            j1 = c
+        for j in range(j0, j1):
+            mayrow = MAY[j]
+            for i in range(num_cells):
+                out = outs[i]
+                if not mayrow[out]:
+                    continue
+                f = fam[i]
+                p0 = pins[i, 0]
+                off = aux_off[i]
+                for kk in range(k):
+                    d = fresh[i] * scales[kk, cell_index[i]]
+                    if f == 0 or f == 1:
+                        base = arr[p0, kk]
+                    elif f == 2 or f == 3:
+                        a0 = arr[p0, kk]
+                        a1 = arr[pins[i, 1], kk]
+                        base = a0 if a0 >= a1 else a1
+                    elif f == 4:
+                        has_ctrl = False
+                        ctrl_arr = np.inf
+                        last = 0.0
+                        for q in range(npins[i]):
+                            aq = arr[pins[i, q], kk]
+                            if AUXM[j, off + q]:
+                                has_ctrl = True
+                                if aq < ctrl_arr:
+                                    ctrl_arr = aq
+                            if aq > last:
+                                last = aq
+                        base = ctrl_arr if has_ctrl else last
+                    elif f == 5:
+                        if AUXM[j, off]:
+                            chosen = arr[pins[i, 1], kk]
+                        else:
+                            chosen = arr[p0, kk]
+                        a2 = arr[pins[i, 2], kk]
+                        base = a2 if a2 >= chosen else chosen
+                    else:
+                        a0 = arr[p0, kk] if AUXM[j, off] else 0.0
+                        a1 = arr[pins[i, 1], kk]
+                        base = a1 if a1 >= a0 else a0
+                    arr[out, kk] = base + d
+            for b in range(port_nets.shape[0]):
+                net = port_nets[b]
+                for kk in range(k):
+                    v = arr[net, kk]
+                    if collect_bits:
+                        bch[b, kk, j] = v
+                    if v > dch[kk, j]:
+                        dch[kk, j] = v
+            # Targeted re-zero: only rows this column wrote.
+            for i in range(num_cells):
+                if mayrow[outs[i]]:
+                    for kk in range(k):
+                        arr[outs[i], kk] = 0.0
+
+
+# ----------------------------------------------------------------------
+# Engine-facing wrappers.
+# ----------------------------------------------------------------------
+
+
+def run_chunk(
+    circuit,
+    arrays: Dict[str, np.ndarray],
+    carry_values: Optional[np.ndarray],
+    carry_held: Dict[int, int],
+    collect_bit_arrivals: bool,
+    collect_net_stats: bool,
+    drop_first: bool,
+    start_index: int = -1,
+    recorder=None,
+):
+    """JIT chunk runner: same contract (and results) as
+    ``CompiledCircuit._run_chunk_soa``.
+
+    The wrapper keeps everything the JIT subset cannot express on the
+    numpy side: port unpacking, fault hooks (input-port hooks before
+    phase 1, hooked cells as scalar segments inside it), value-plane
+    recording, grouped tri-state toggle fixups, and result assembly.
+    """
+    from .engine import StreamResult
+
+    plan = get_plan(circuit)
+    fault_hooks = circuit.fault_hooks
+    netlist = circuit.netlist
+    n = next(iter(arrays.values())).shape[0]
+    num_nets = circuit.num_nets
+    inertial = circuit.mode == "inertial"
+    damping = circuit.technology.glitch_damping
+    lo = 1 if drop_first else 0
+    if recorder is not None:
+        recorder.begin(start_index + lo, lo)
+
+    VT = np.zeros((n, num_nets), dtype=np.uint8)
+    VT[:, CONST1] = 1
+
+    # Primary inputs: expand port words into per-net bit columns (with
+    # input-port hooks applied before any cell evaluates).
+    for name, port in netlist.input_ports.items():
+        bits = logic.unpack_bits(arrays[name], port.width)
+        for lane, net in enumerate(port.nets):
+            cur = bits[lane]
+            if net in fault_hooks:
+                cur = np.asarray(
+                    fault_hooks[net](cur, start_index), dtype=np.uint8
+                )
+            VT[:, net] = cur
+
+    # Phase 1: values.  Hooked cells split the topological walk into
+    # JIT segments; each hooked cell evaluates on the scalar numpy path
+    # and its hook rewrites the column before downstream segments run.
+    phase1 = _fn(_phase1_values)
+    pos = 0
+    for h in plan.hooked_positions:
+        if h > pos:
+            phase1(
+                VT, plan.fam, plan.ctrl, plan.invert, plan.npins,
+                plan.pins, plan.outs, pos, h,
+            )
+        compiled = circuit._cells[h]
+        out_val = logic.eval_vector(
+            compiled.opcode, [VT[:, p] for p in compiled.inputs]
+        )
+        VT[:, compiled.output] = np.asarray(
+            fault_hooks[compiled.output](out_val, start_index),
+            dtype=np.uint8,
+        )
+        pos = h + 1
+    if pos < plan.num_cells:
+        phase1(
+            VT, plan.fam, plan.ctrl, plan.invert, plan.npins,
+            plan.pins, plan.outs, pos, plan.num_cells,
+        )
+
+    # Phase 2: timing.  A pure function of the completed value matrix,
+    # so hooked cells run uniformly here.
+    record = recorder is not None
+    MT = np.zeros((n, num_nets), dtype=np.bool_)
+    CHT = np.zeros((n, num_nets), dtype=np.bool_)
+    AT = (
+        np.zeros((1, 1)) if record else np.zeros((n, num_nets))
+    )
+    AUXT = (
+        np.zeros((n, max(1, plan.num_aux)), dtype=np.uint8)
+        if record
+        else np.zeros((1, 1), dtype=np.uint8)
+    )
+    if carry_values is None:
+        carry = np.zeros(num_nets, dtype=np.uint8)
+        has_carry = False
+    else:
+        carry = np.asarray(carry_values, dtype=np.uint8)
+        has_carry = True
+    switched = np.zeros(n)
+    _fn(_phase2_timing)(
+        VT, MT, CHT, AT, AUXT, carry, has_carry, inertial, record,
+        damping, plan.fam, plan.ctrl, plan.invert, plan.npins,
+        plan.pins, plan.outs, plan.delays, plan.caps,
+        plan.aux_offsets, plan.src_nets, switched,
+    )
+
+    if record:
+        byte = recorder._byte
+        packed = np.packbits(MT.T[:, lo:], axis=1)
+        width = packed.shape[1]
+        recorder.may[:, byte:byte + width] = packed
+        if plan.num_aux:
+            packed = np.packbits(AUXT.T[:plan.num_aux, lo:], axis=1)
+            recorder.aux[:, byte:byte + width] = packed
+
+    sig_sum = None
+    tog_sum = None
+    new_held: Dict[int, int] = {}
+    if collect_net_stats:
+        sig_sum = VT.sum(axis=0).astype(float)
+        tog_sum = CHT.sum(axis=0).astype(float)
+        # Bypass-group cells: replace the functional toggle count with
+        # the tri-state-hold count (order-independent per-net fixup,
+        # covering bucketed and hooked grouped cells alike).
+        for net, enable_net in plan.grouped:
+            toggles, held_final = logic.tribuf_masked_toggles(
+                VT[:, net], VT[:, enable_net], carry_held.get(net)
+            )
+            new_held[net] = held_final
+            tog_sum[net] = toggles.sum()
+
+    final_values = VT[-1].copy()
+    final_values[CONST0] = 0
+    final_values[CONST1] = 0
+
+    outputs: Dict[str, np.ndarray] = {}
+    bit_arrivals: Optional[Dict[str, np.ndarray]] = (
+        {} if collect_bit_arrivals else None
+    )
+    delays = np.zeros(n)
+    for name, port in netlist.output_ports.items():
+        nets = list(port.nets)
+        outputs[name] = logic.pack_bits(VT[:, nets].T)[lo:]
+        if recorder is None:
+            port_arr = AT[:, nets].T
+            if collect_bit_arrivals:
+                bit_arrivals[name] = port_arr[:, lo:]
+            delays = np.maximum(delays, port_arr.max(axis=0))
+        elif collect_bit_arrivals:
+            bit_arrivals[name] = np.zeros((port.width, n - lo))
+
+    reported = n - lo
+    result = StreamResult(
+        outputs=outputs,
+        delays=delays[lo:],
+        switched_caps=switched[lo:],
+        num_patterns=reported,
+        bit_arrivals=bit_arrivals,
+        signal_prob=(sig_sum / n) if collect_net_stats else None,
+        toggle_counts=tog_sum if collect_net_stats else None,
+    )
+    return result, final_values, new_held
+
+
+#: Pattern columns per replay workspace block (one ``(num_nets, k)``
+#: arrival matrix is shared, with targeted re-zeroing, per block).
+REPLAY_BLOCK = 64
+
+
+def replay(replayer, scales: np.ndarray, k: int, n: int,
+           collect_bit_arrivals: bool):
+    """JIT arrival replay: same contract (and results) as
+    ``ArrivalReplay._replay_soa``.  Chunks the pattern axis exactly
+    like the SoA replay (replay carries no cross-pattern state, so
+    chunking is exact) and unpacks the plane's packed masks per chunk.
+    """
+    from .replay import _replay_chunk_size
+
+    circuit = replayer.circuit
+    plane = replayer.plane
+    plan = get_plan(circuit)
+    num_nets = circuit.num_nets
+    chunk = _replay_chunk_size(num_nets, k)
+    ports = circuit.netlist.output_ports
+    port_nets = np.array(
+        [net for port in ports.values() for net in port.nets],
+        dtype=np.int64,
+    )
+    delays = np.zeros((k, n))
+    total_bits = int(port_nets.shape[0])
+    bit_flat = (
+        np.zeros((total_bits, k, n))
+        if collect_bit_arrivals
+        else np.zeros((1, 1, 1))
+    )
+    kernel = _fn(_replay_pass)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        c = stop - start
+        byte0 = start // 8
+        byte1 = (stop + 7) // 8
+        may = np.ascontiguousarray(
+            np.unpackbits(
+                plane.may_packed[:, byte0:byte1], axis=1, count=c
+            ).view(bool).T
+        )
+        if plan.num_aux:
+            auxm = np.ascontiguousarray(
+                np.unpackbits(
+                    plane.aux_packed[:, byte0:byte1], axis=1, count=c
+                ).view(bool).T
+            )
+        else:
+            auxm = np.zeros((c, 1), dtype=np.bool_)
+        dch = delays[:, start:stop]
+        bch = (
+            bit_flat[:, :, start:stop]
+            if collect_bit_arrivals
+            else bit_flat
+        )
+        kernel(
+            may, auxm, scales, plan.fam, plan.npins, plan.pins,
+            plan.outs, plan.fresh, plan.cell_index,
+            plane.aux_offsets, port_nets, dch, bch,
+            collect_bit_arrivals, num_nets, REPLAY_BLOCK,
+        )
+
+    bit_arrivals: Optional[Dict[str, np.ndarray]] = None
+    if collect_bit_arrivals:
+        bit_arrivals = {}
+        b0 = 0
+        for name, port in ports.items():
+            bit_arrivals[name] = bit_flat[b0:b0 + port.width]
+            b0 += port.width
+    return delays, bit_arrivals
+
+
+def warmup() -> bool:
+    """Force-compile all three kernels on toy inputs (a no-op without
+    numba).  ``cache=True`` persists the compilation across processes;
+    benchmarks call this so timed sections never include compile time.
+    Returns whether compiled kernels are in use."""
+    if not HAVE_NUMBA or _FORCE_PYTHON:
+        return False
+    # Two cells -- an INV and an AND2 -- over 8 patterns and 5 nets,
+    # enough to instantiate every kernel signature once.
+    fam = np.array([1, 4], dtype=np.int64)
+    ctrl = np.array([0, 0], dtype=np.uint8)
+    invert = np.array([1, 0], dtype=np.uint8)
+    npins = np.array([1, 2], dtype=np.int64)
+    pins = np.array([[2, -1, -1], [2, 3, -1]], dtype=np.int64)
+    outs = np.array([3, 4], dtype=np.int64)
+    delays = np.ones(2)
+    caps = np.ones(2)
+    aux_off = np.array([0, 0, 2], dtype=np.int64)
+    src = np.array([2], dtype=np.int64)
+    VT = np.zeros((8, 5), dtype=np.uint8)
+    VT[:, CONST1] = 1
+    VT[::2, 2] = 1
+    _phase1_values(VT, fam, ctrl, invert, npins, pins, outs, 0, 2)
+    MT = np.zeros((8, 5), dtype=np.bool_)
+    CHT = np.zeros((8, 5), dtype=np.bool_)
+    AT = np.zeros((8, 5))
+    AUXT = np.zeros((8, 2), dtype=np.uint8)
+    carry = np.zeros(5, dtype=np.uint8)
+    switched = np.zeros(8)
+    _phase2_timing(
+        VT, MT, CHT, AT, AUXT, carry, False, True, False, 1.0,
+        fam, ctrl, invert, npins, pins, outs, delays, caps, aux_off,
+        src, switched,
+    )
+    _phase2_timing(
+        VT, MT, CHT, AT, AUXT, carry, False, True, True, 1.0,
+        fam, ctrl, invert, npins, pins, outs, delays, caps, aux_off,
+        src, switched,
+    )
+    may = np.ones((8, 5), dtype=np.bool_)
+    auxm = np.ones((8, 2), dtype=np.bool_)
+    scales = np.ones((2, 2))
+    dch = np.zeros((2, 8))
+    bch = np.zeros((1, 2, 8))
+    port_nets = np.array([4], dtype=np.int64)
+    _replay_pass(
+        may, auxm, scales, fam, npins, pins, outs, delays,
+        np.array([0, 1], dtype=np.int64), aux_off, port_nets,
+        dch, bch, True, 5, REPLAY_BLOCK,
+    )
+    return True

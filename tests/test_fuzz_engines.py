@@ -9,15 +9,31 @@ masking discipline) and checks the engine-agreement invariants:
   floating-mode arrival bound;
 * inertial-mode delays never exceed floating-mode delays;
 * chunked streaming is exact;
-* a dump/parse round trip simulates identically.
+* a dump/parse round trip simulates identically;
+* the ``percell`` / ``soa`` / ``numba`` kernels are bit-identical on
+  values, delays and bit arrivals, with and without folding and fault
+  hooks (the numba kernel runs in pure-python mode when numba is
+  absent, so the JIT kernel bodies are always part of the fuzz).
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.faults.injector import compile_with_faults
+from repro.faults.models import StuckAtFault, TransientBitFlip
 from repro.nets.export import dump_netlist, parse_netlist
 from repro.nets.netlist import Netlist
 from repro.timing import CompiledCircuit, EventSimulator
+from repro.timing import jit
+from repro.timing.engine import KERNELS
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _exercise_jit_path():
+    previous = jit.force_python(not jit.HAVE_NUMBA)
+    yield
+    jit.force_python(previous)
 
 GATES_1 = ["INV", "BUF"]
 GATES_2 = ["AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2"]
@@ -108,6 +124,56 @@ def test_chunked_streaming_exact(case, chunk_size):
     assert np.array_equal(whole.outputs["o"], chunked.outputs["o"])
     assert np.allclose(whole.delays, chunked.delays)
     assert np.allclose(whole.switched_caps, chunked.switched_caps)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_netlists(), st.sampled_from(["inertial", "floating"]),
+       st.booleans(), st.booleans())
+def test_kernels_bit_identical(case, mode, fold, bit_arrivals):
+    nl, stimulus = case
+    results = {}
+    for kernel in KERNELS:
+        circuit = CompiledCircuit(nl, mode=mode, kernel=kernel)
+        results[kernel] = circuit.run(
+            {"x": stimulus}, fold=fold,
+            collect_bit_arrivals=bit_arrivals,
+        )
+    want = results["percell"]
+    for kernel in ("soa", "numba"):
+        got = results[kernel]
+        assert np.array_equal(got.outputs["o"], want.outputs["o"])
+        assert np.array_equal(got.delays, want.delays)
+        assert np.allclose(got.switched_caps, want.switched_caps,
+                           rtol=1e-12, atol=1e-9)
+        if bit_arrivals:
+            assert np.array_equal(got.bit_arrivals["o"],
+                                  want.bit_arrivals["o"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_netlists(), st.integers(0, 10**9), st.booleans())
+def test_kernels_bit_identical_with_fault_hooks(case, pick, seu):
+    nl, stimulus = case
+    cells = nl.cells
+    target = cells[pick % len(cells)].output
+    if seu:
+        faults = [TransientBitFlip(net=target, rate=0.3,
+                                   seed=pick % 97)]
+    else:
+        faults = [StuckAtFault(net=target, value=pick % 2)]
+    results = {}
+    for kernel in KERNELS:
+        circuit = compile_with_faults(nl, faults, kernel=kernel)
+        results[kernel] = circuit.run(
+            {"x": stimulus}, collect_bit_arrivals=True
+        )
+    want = results["percell"]
+    for kernel in ("soa", "numba"):
+        got = results[kernel]
+        assert np.array_equal(got.outputs["o"], want.outputs["o"])
+        assert np.array_equal(got.delays, want.delays)
+        assert np.array_equal(got.bit_arrivals["o"],
+                              want.bit_arrivals["o"])
 
 
 @settings(max_examples=40, deadline=None)

@@ -1,0 +1,197 @@
+"""JIT backend mechanics: force-python mode, fallback, plan caching.
+
+``tests/test_kernel.py`` carries the cross-kernel bit-identity matrix
+(it parametrizes every equivalence case over ``kernel="numba"``); this
+module tests the machinery *around* the kernels -- the numba-absent
+fallback contract, the pure-python escape hatch, ``warmup()``, plan
+caching, value-plane byte-identity and input-port fault hooks -- so a
+container without numba still exercises every dispatch branch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arith import column_bypass_multiplier
+from repro.faults.injector import compile_with_faults
+from repro.faults.models import StuckAtFault, TransientBitFlip
+from repro.timing import (
+    ArrivalReplay,
+    CompiledCircuit,
+    build_value_plane,
+)
+from repro.timing import jit
+from repro.timing import replay as replay_mod
+from repro.workloads import uniform_operands
+
+
+@pytest.fixture(scope="module")
+def cb4():
+    return column_bypass_multiplier(4)
+
+
+@pytest.fixture(scope="module")
+def stream4():
+    md, mr = uniform_operands(4, 120, seed=11)
+    return {"md": md, "mr": mr}
+
+
+@pytest.fixture
+def pure_python():
+    previous = jit.force_python(True)
+    yield
+    jit.force_python(previous)
+
+
+def assert_streams_equal(a, b, caps_exact=False):
+    for name in a.outputs:
+        assert np.array_equal(a.outputs[name], b.outputs[name])
+    assert np.array_equal(a.delays, b.delays)
+    if caps_exact:
+        assert np.array_equal(a.switched_caps, b.switched_caps)
+    else:
+        assert np.allclose(a.switched_caps, b.switched_caps,
+                           rtol=1e-12, atol=1e-9)
+
+
+class TestForcePython:
+    def test_force_python_round_trip(self):
+        previous = jit.force_python(True)
+        try:
+            assert jit.jit_enabled()
+            assert jit.force_python(True) is True  # returns prior state
+        finally:
+            jit.force_python(previous)
+
+    def test_jit_disabled_without_numba_by_default(self):
+        previous = jit.force_python(False)
+        try:
+            assert jit.jit_enabled() == jit.HAVE_NUMBA
+        finally:
+            jit.force_python(previous)
+
+    def test_pure_python_matches_soa(self, cb4, stream4, pure_python):
+        want = CompiledCircuit(cb4).run(
+            stream4, collect_bit_arrivals=True, collect_net_stats=True
+        )
+        got = CompiledCircuit(cb4, kernel="numba").run(
+            stream4, collect_bit_arrivals=True, collect_net_stats=True
+        )
+        assert_streams_equal(got, want)
+        for name in want.bit_arrivals:
+            assert np.array_equal(got.bit_arrivals[name],
+                                  want.bit_arrivals[name])
+        assert np.array_equal(got.signal_prob, want.signal_prob)
+        assert np.array_equal(got.toggle_counts, want.toggle_counts)
+
+
+class TestFallback:
+    def test_numba_kernel_accepted_without_numba(self, cb4, stream4):
+        # kernel="numba" must never raise when numba is missing: it
+        # silently executes the SoA path, byte-identical to it.
+        previous = jit.force_python(False)
+        try:
+            if jit.HAVE_NUMBA:
+                pytest.skip("numba installed; fallback path not reachable")
+            got = CompiledCircuit(cb4, kernel="numba").run(stream4)
+            want = CompiledCircuit(cb4).run(stream4)
+            assert_streams_equal(got, want, caps_exact=True)
+        finally:
+            jit.force_python(previous)
+
+    def test_fallback_replay_identical(self, cb4, stream4):
+        previous = jit.force_python(False)
+        try:
+            if jit.HAVE_NUMBA:
+                pytest.skip("numba installed; fallback path not reachable")
+            rng = np.random.default_rng(7)
+            scales = 1.0 + rng.uniform(0.0, 0.3, (2, len(cb4.cells)))
+            results = {}
+            for kernel in ("soa", "numba"):
+                circuit = CompiledCircuit(cb4, kernel=kernel)
+                plane = build_value_plane(circuit, stream4)
+                results[kernel] = ArrivalReplay(circuit, plane).replay(
+                    scales, collect_bit_arrivals=True
+                )
+            assert np.array_equal(results["soa"].delays,
+                                  results["numba"].delays)
+        finally:
+            jit.force_python(previous)
+
+    def test_warmup_reports_availability(self):
+        previous = jit.force_python(False)
+        try:
+            # warmup() compiles eagerly iff real numba is importable;
+            # pure-python mode has nothing to compile.
+            assert jit.warmup() == jit.HAVE_NUMBA
+        finally:
+            jit.force_python(previous)
+
+    def test_warmup_noop_in_pure_python_mode(self, pure_python):
+        assert jit.warmup() is False
+
+
+class TestPlan:
+    def test_plan_cached_per_circuit(self, cb4, pure_python):
+        circuit = CompiledCircuit(cb4, kernel="numba")
+        plan = jit.get_plan(circuit)
+        assert jit.get_plan(circuit) is plan
+        assert plan.num_cells == len(cb4.cells)
+        assert plan.pins.shape == (plan.num_cells, 3)
+
+    def test_value_plane_bytes_identical(self, cb4, stream4, pure_python):
+        planes = {}
+        for kernel in ("soa", "numba"):
+            circuit = CompiledCircuit(cb4, kernel=kernel)
+            planes[kernel] = build_value_plane(circuit, stream4)
+        a, b = planes["soa"], planes["numba"]
+        assert np.array_equal(a.may_packed, b.may_packed)
+        assert np.array_equal(a.aux_packed, b.aux_packed)
+
+    def test_replay_many_chunks(self, cb4, stream4, pure_python,
+                                monkeypatch):
+        circuit = CompiledCircuit(cb4, kernel="numba")
+        plane = build_value_plane(circuit, stream4)
+        rng = np.random.default_rng(3)
+        scales = 1.0 + rng.uniform(0.0, 0.4, (3, len(cb4.cells)))
+        whole = ArrivalReplay(circuit, plane).replay(
+            scales, collect_bit_arrivals=True
+        )
+        monkeypatch.setattr(replay_mod, "REPLAY_CHUNK_TARGET_BYTES", 1)
+        chunked = ArrivalReplay(circuit, plane).replay(
+            scales, collect_bit_arrivals=True
+        )
+        assert np.array_equal(whole.delays, chunked.delays)
+        for name in whole.bit_arrivals:
+            assert np.array_equal(whole.bit_arrivals[name],
+                                  chunked.bit_arrivals[name])
+
+
+class TestHooks:
+    def test_input_port_hook(self, cb4, stream4, pure_python):
+        # Hooks on primary-input nets run before the value pass, not
+        # between JIT segments -- a separate code path in the wrapper.
+        net = next(iter(cb4.input_ports.values())).nets[1]
+        faults = [StuckAtFault(net=net, value=1)]
+        want = compile_with_faults(cb4, faults, kernel="soa").run(stream4)
+        got = compile_with_faults(cb4, faults, kernel="numba").run(stream4)
+        assert_streams_equal(got, want)
+
+    def test_hooked_cells_segment_value_pass(self, cb4, stream4,
+                                             pure_python):
+        # Two hooked cells split the topological order into three JIT
+        # segments with scalar hook evaluation in between.
+        faults = [
+            StuckAtFault(net=cb4.cells[3].output, value=0),
+            TransientBitFlip(net=cb4.cells[11].output, rate=0.3, seed=5),
+        ]
+        for mode in ("inertial", "floating"):
+            want = compile_with_faults(
+                cb4, faults, mode=mode, kernel="soa"
+            ).run(stream4, collect_bit_arrivals=True)
+            got = compile_with_faults(
+                cb4, faults, mode=mode, kernel="numba"
+            ).run(stream4, collect_bit_arrivals=True)
+            assert_streams_equal(got, want)
+            for name in want.bit_arrivals:
+                assert np.array_equal(got.bit_arrivals[name],
+                                      want.bit_arrivals[name])
