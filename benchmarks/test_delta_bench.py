@@ -1,0 +1,105 @@
+"""Variant-sweep bench: cone-delta patch-replay vs from-scratch runs.
+
+The acceptance claim of the incremental-evaluation machinery: a
+100-mutant sweep of the 16x16 column-bypass multiplier evaluates an
+order of magnitude faster through :func:`repro.timing.delta
+.replay_delta` (one shared :class:`~repro.timing.delta.DeltaBase`, one
+cone re-simulation per mutant) than through per-variant from-scratch
+compile+simulate+replay -- while producing the byte-identical canonical
+sweep document.  Identity is asserted *before* the speedup, so a broken
+delta path can never pass on speed alone.  Measured throughputs land in
+``benchmarks/results/BENCH_delta.json`` (committed reference copy in
+``benchmarks/baselines/``, gated by ``trend.py``).
+"""
+
+import json
+import os
+import time
+
+from repro.experiments.sweep import SweepSpec, VariantSweep, render_payload
+
+RESULTS = os.path.join(os.path.dirname(__file__), "results")
+
+SPEC = SweepSpec(
+    width=16,
+    kind="column",
+    years=(0.0, 10.0),
+    num_patterns=2000,
+    seed=1,
+    characterize_patterns=600,
+    num_variants=100,
+    variant_seed=0,
+)
+
+#: Conservative gate for noisy CI boxes; the recorded speedup is the
+#: measured value (>= 10x on an idle machine, see BENCH_delta.json).
+MIN_SPEEDUP = 6.0
+
+
+def test_variant_sweep_delta_speedup(benchmark):
+    sweep = VariantSweep(SPEC)
+    # Warm the state both engines share (netlist, characterization,
+    # stimulus, aging scales) so neither timed section pays for it.
+    sweep.netlist
+    sweep.variants
+    sweep.scales
+    sweep.stimulus
+
+    timings = {}
+
+    def run_both():
+        t0 = time.time()
+        full_payload, _ = sweep.run(engine="full")
+        timings["full"] = time.time() - t0
+        # The delta timing deliberately includes building the DeltaBase
+        # (value plane with captured values + dense arrival tensor):
+        # that is the real per-sweep cost of the incremental path.
+        t0 = time.time()
+        delta_payload, delta_stats = sweep.run(engine="delta")
+        timings["delta"] = time.time() - t0
+        return full_payload, delta_payload, delta_stats
+
+    full_payload, delta_payload, delta_stats = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    # Byte identity first -- a fast-but-wrong delta path must fail
+    # here, before any speedup is computed.
+    assert render_payload(delta_payload) == render_payload(full_payload)
+    assert delta_stats["methods"].get("full", 0) == 0, (
+        "delta sweep silently fell back to from-scratch evaluations"
+    )
+
+    full_s = timings["full"]
+    delta_s = timings["delta"]
+    speedup = full_s / delta_s
+    n = SPEC.num_variants
+    record = {
+        "experiment": "100-mutant variant sweep (16x16 column-bypass)",
+        "num_variants": n,
+        "num_patterns": SPEC.num_patterns,
+        "corners": len(SPEC.years),
+        "bit_identical": True,
+        "full_seconds": round(full_s, 4),
+        "delta_seconds": round(delta_s, 4),
+        "full_ms_per_variant": round(1e3 * full_s / n, 2),
+        "delta_ms_per_variant": round(1e3 * delta_s / n, 2),
+        "full_variants_per_sec": round(n / full_s, 2),
+        "delta_variants_per_sec": round(n / delta_s, 2),
+        "sweep_speedup": round(speedup, 2),
+    }
+    os.makedirs(RESULTS, exist_ok=True)
+    with open(os.path.join(RESULTS, "BENCH_delta.json"), "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print()
+    print(
+        "full %.2fs vs delta %.2fs = %.1fx (%.1f -> %.1f ms/variant)"
+        % (
+            full_s, delta_s, speedup,
+            1e3 * full_s / n, 1e3 * delta_s / n,
+        )
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        "cone-delta sweep only %.2fx faster than from-scratch" % speedup
+    )

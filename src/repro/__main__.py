@@ -45,6 +45,10 @@ COMMANDS = {
         "repro.distrib.__main__",
         "distributed campaign workers (worker / exec / ping / shutdown)",
     ),
+    "sweep": (
+        "repro.experiments.sweep_cli",
+        "incremental netlist variant sweeps (cone-delta patch-replay)",
+    ),
 }
 
 

@@ -29,6 +29,15 @@ Job kinds:
     registered experiment.  Result:
     ``{"title": ..., "rendered": ..., "elapsed": ...}``.
 
+``variant_shard``
+    ``{"job": "variant_shard", "sweep": {...}, "engine": "delta",
+    "variants": [0, 5, 9]}`` -- rebuild the variant sweep (parent
+    netlist, characterization, :class:`repro.timing.delta.DeltaBase`)
+    from the :class:`repro.experiments.sweep.SweepSpec` dict and
+    evaluate the listed variant indices.  Result:
+    ``{"records": [[index, record_dict], ...]}`` (engine-independent
+    :func:`~repro.experiments.sweep._result_record` payloads).
+
 ``ping``
     Liveness probe.  Result: ``{"pong": true}``.
 """
@@ -42,7 +51,9 @@ from typing import Dict
 from ..errors import ConfigError
 
 #: Job kinds :func:`run_job` dispatches on.
-JOB_KINDS = ("fault_sites", "mc_shard", "experiment", "ping")
+JOB_KINDS = (
+    "fault_sites", "mc_shard", "experiment", "variant_shard", "ping"
+)
 
 #: Per-process cache of rebuilt heavy state, keyed by
 #: ``(kind, canonical-JSON-of-spec)``.  Bounded in practice: a worker
@@ -129,6 +140,42 @@ def _run_mc_shard(request: Dict) -> Dict:
     return run_mc_shard(job, (int(die_range[0]), int(die_range[1])))
 
 
+def _sweep_for(spec: Dict):
+    from ..experiments.sweep import SweepSpec, VariantSweep
+
+    key = _cache_key("sweep", spec)
+    if key not in _STATE_CACHE:
+        _STATE_CACHE[key] = VariantSweep(SweepSpec.from_dict(spec))
+    return _STATE_CACHE[key]
+
+
+def _run_variant_shard(request: Dict) -> Dict:
+    spec = request.get("sweep")
+    if not isinstance(spec, dict):
+        raise ConfigError(
+            "variant_shard job needs a 'sweep' dict, got %r" % (spec,)
+        )
+    indices = request.get("variants")
+    if not isinstance(indices, list):
+        raise ConfigError(
+            "variant_shard job needs a 'variants' list, got %r"
+            % (indices,)
+        )
+    engine = request.get("engine", "delta")
+    sweep = _sweep_for(spec)
+    records = []
+    for raw in indices:
+        index = int(raw)
+        if not 0 <= index < len(sweep.variants):
+            raise ConfigError(
+                "variant index %d outside [0, %d)"
+                % (index, len(sweep.variants))
+            )
+        record, _ = sweep.evaluate(index, engine=engine)
+        records.append([index, record])
+    return {"records": records}
+
+
 def _run_experiment(request: Dict) -> Dict:
     from ..experiments.registry import get_experiment
 
@@ -169,6 +216,8 @@ def run_job(request: Dict) -> Dict:
         return _run_mc_shard(request)
     if kind == "experiment":
         return _run_experiment(request)
+    if kind == "variant_shard":
+        return _run_variant_shard(request)
     import difflib
 
     hints = difflib.get_close_matches(str(kind), JOB_KINDS, n=1)

@@ -445,6 +445,38 @@ def run_mc_pooled(
     return [_unwrap(response) for response in pool.map(requests)]
 
 
+def run_sweep_pooled(
+    pool: WorkerPool,
+    sweep_spec: Dict,
+    pending: Sequence[int],
+    engine: str = "delta",
+    chunk_size: Optional[int] = None,
+):
+    """Fan pending variant indices of one sweep out over ``pool``.
+
+    Workers rebuild the sweep (parent base included) deterministically
+    from ``sweep_spec`` and evaluate their index batches, so request
+    payloads stay tiny.  Yields ``(index, record)`` pairs as batches
+    stream back (unordered; the caller owns index placement).
+    """
+    from ..faults.parallel import make_batches
+
+    batches = make_batches(pending, pool.size, chunk_size)
+    requests = [
+        {
+            "job": "variant_shard",
+            "sweep": dict(sweep_spec),
+            "engine": engine,
+            "variants": batch,
+        }
+        for batch in batches
+    ]
+    for response in pool.imap_unordered(requests):
+        result = _unwrap(response)
+        for index, record in result.get("records", []):
+            yield int(index), record
+
+
 def run_suite_pooled(
     pool: WorkerPool, requests: Sequence[Dict]
 ) -> List[Dict]:

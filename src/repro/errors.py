@@ -39,6 +39,13 @@ class FaultError(SimulationError):
     out-of-range rate, conflicting faults on one site, ...)."""
 
 
+class DeltaError(SimulationError):
+    """A netlist delta cannot be diffed, patched or replayed
+    incrementally (misaligned parent/child structure, unsupported cell
+    change, patched-plan precondition violated, ...).  Callers fall
+    back to a from-scratch compile + run."""
+
+
 class CheckpointError(FaultError):
     """A campaign checkpoint file cannot be used (fingerprint mismatch,
     mid-file corruption, unsupported version, ...)."""

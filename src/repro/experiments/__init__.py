@@ -27,6 +27,7 @@ from .registry import (
 )
 from .scheduler import SuiteEntry, SuitePlan, SuiteResult, plan_suite, run_suite
 from .store import ArtifactStore
+from .sweep import SweepSpec, Variant, VariantSweep, enumerate_variants
 
 __all__ = [
     "ArtifactStore",
@@ -37,6 +38,10 @@ __all__ = [
     "SuiteEntry",
     "SuitePlan",
     "SuiteResult",
+    "SweepSpec",
+    "Variant",
+    "VariantSweep",
+    "enumerate_variants",
     "get_experiment",
     "list_experiments",
     "plan_suite",

@@ -70,8 +70,11 @@ VERSION = 1
 #: (:class:`repro.montecarlo.population.PopulationReductions` payload,
 #: fingerprint-keyed on the sampler config); ``surface`` holds the
 #: derived analytics dict (:class:`repro.montecarlo.analytics
-#: .MonteCarloResult`).
-KINDS = ("netlist", "stress", "stream", "population", "surface")
+#: .MonteCarloResult`); ``delta`` holds per-variant sweep records
+#: (:mod:`repro.experiments.sweep` evaluation dicts, fingerprint-keyed
+#: on the parent base x mutation site), so re-running a variant sweep
+#: only evaluates mutants the store has not seen.
+KINDS = ("netlist", "stress", "stream", "population", "surface", "delta")
 #: Legacy (pre-sharding) manifest file name, still read if present.
 MANIFEST = "manifest.jsonl"
 #: Manifest shard count; shard = first hex nibble of the digest.
@@ -83,6 +86,7 @@ _EXT = {
     "stream": ".npz",
     "population": ".npz",
     "surface": ".pkl",
+    "delta": ".pkl",
 }
 
 
@@ -340,7 +344,7 @@ class ArtifactStore:
         path = self._path(kind, key)
         if os.path.exists(path):
             try:
-                if kind in ("netlist", "surface"):
+                if kind in ("netlist", "surface", "delta"):
                     payload = _load_pickle(path, key)
                 else:
                     loaded = _load_npz(path, key)
@@ -377,6 +381,10 @@ class ArtifactStore:
         elif kind == "surface":
             if not isinstance(payload, dict):
                 raise ConfigError("surface artifact must be a dict")
+            _save_pickle(path, key, payload)
+        elif kind == "delta":
+            if not isinstance(payload, dict):
+                raise ConfigError("delta artifact must be a dict")
             _save_pickle(path, key, payload)
         elif kind == "stress":
             _save_npz(

@@ -41,6 +41,7 @@ from .injector import (
     em_fault_sites,
     enumerate_fault_sites,
     fault_delay_scale,
+    fault_delay_scales,
 )
 from .models import (
     DelayFault,
@@ -66,6 +67,7 @@ __all__ = [
     "em_fault_sites",
     "enumerate_fault_sites",
     "fault_delay_scale",
+    "fault_delay_scales",
     "make_batches",
     "run_sharded",
     "unique_site_ids",

@@ -107,6 +107,45 @@ def fault_delay_scale(
     return scale
 
 
+def fault_delay_scales(
+    netlist: Netlist,
+    faults: Sequence[FaultModel],
+    base_scales: np.ndarray,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+) -> np.ndarray:
+    """Fold :class:`DelayFault` extras into a ``(k, num_cells)`` scale
+    *matrix* -- every corner row gets the same additive term, mirroring
+    :func:`fault_delay_scale` per row.
+
+    This is the multi-corner form variant sweeps price through
+    :func:`repro.timing.delta.replay_delta`: the perturbed columns are
+    exactly the fault's cells, so the arrival cone stays the fault's
+    forward cone.  Returns ``base_scales`` itself (not a copy) when no
+    delay faults are present.
+    """
+    scales = np.asarray(base_scales, dtype=float)
+    if scales.ndim == 1:
+        scales = scales[None, :]
+    num_cells = len(netlist.cells)
+    if scales.ndim != 2 or scales.shape[1] != num_cells:
+        raise FaultError(
+            "base delay scales must be (k, num_cells) with"
+            " num_cells=%d, got %r" % (num_cells, np.shape(base_scales))
+        )
+    delay_faults = [f for f in faults if isinstance(f, DelayFault)]
+    if not delay_faults:
+        return scales
+    scales = scales.copy()
+    unit = technology.time_unit_ns
+    for fault in delay_faults:
+        fault.validate(netlist)
+        cell = netlist.cells[fault.cell]
+        scales[:, fault.cell] += fault.extra_ns / (
+            cell.cell_type.delay_units * unit
+        )
+    return scales
+
+
 def compile_with_faults(
     netlist: Netlist,
     faults: Sequence[FaultModel],

@@ -3,7 +3,8 @@
 This package provides the structural layer of the reproduction: a standard
 cell library (:mod:`repro.nets.cells`), a netlist builder with ports,
 validation and levelization (:mod:`repro.nets.netlist`), transistor-level
-area accounting (:mod:`repro.nets.area`) and a human-readable structural
+area accounting (:mod:`repro.nets.area`), structurally aligned variant
+mutations (:mod:`repro.nets.mutate`) and a human-readable structural
 dump (:mod:`repro.nets.export`).
 """
 
@@ -26,14 +27,20 @@ from .cells import (
 )
 from .netlist import Cell, Netlist, Port
 from .area import AreaReport, area_report, transistor_count
+from .mutate import Mutation, apply_mutations, retype, tie_high, tie_low
 
 __all__ = [
     "AreaReport",
     "Cell",
     "CellLibrary",
     "CellType",
+    "Mutation",
     "Netlist",
     "Port",
+    "apply_mutations",
+    "retype",
+    "tie_high",
+    "tie_low",
     "STANDARD_LIBRARY",
     "area_report",
     "transistor_count",

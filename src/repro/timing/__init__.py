@@ -24,6 +24,17 @@ variation sweep.
 power / energy-delay-product metrics.
 """
 
+from .delta import (
+    DeltaBase,
+    DeltaPlane,
+    DeltaResult,
+    NetlistDelta,
+    build_delta_plane,
+    diff_netlists,
+    evaluate_full,
+    patch_compiled,
+    replay_delta,
+)
 from .engine import (
     KERNELS,
     CompiledCircuit,
@@ -49,7 +60,11 @@ from .vcd import render_vcd, write_vcd
 __all__ = [
     "ArrivalReplay",
     "CompiledCircuit",
+    "DeltaBase",
+    "DeltaPlane",
+    "DeltaResult",
     "KERNELS",
+    "NetlistDelta",
     "normalize_kernel",
     "FoldPlan",
     "StreamResult",
@@ -63,9 +78,14 @@ __all__ = [
     "ValuePlaneCache",
     "YieldReport",
     "auto_chunk_size",
+    "build_delta_plane",
     "build_soa_plan",
     "build_value_plane",
     "critical_path",
+    "diff_netlists",
+    "evaluate_full",
+    "patch_compiled",
+    "replay_delta",
     "fold_stimulus",
     "plane_cache_key",
     "unfold_stream",

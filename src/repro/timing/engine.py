@@ -656,6 +656,9 @@ class CompiledCircuit:
         inertial = self.mode == "inertial"
         damping = self.technology.glitch_damping
         lo = 1 if drop_first else 0
+        record_values = recorder is not None and getattr(
+            recorder, "wants_values", False
+        )
         if recorder is not None:
             recorder.begin(start_index + lo, lo)
 
@@ -690,6 +693,8 @@ class CompiledCircuit:
                 T[net] = flags
                 if recorder is not None:
                     recorder.net_may(net, flags)
+                    if record_values:
+                        recorder.net_values(net, cur)
                 if collect_net_stats:
                     sig_sum[net] = cur.sum()
                     tog_sum[net] = flags.sum()
@@ -727,6 +732,8 @@ class CompiledCircuit:
                     recorder.cell_bucket(
                         bucket.positions, outs, out_may, aux
                     )
+                    if record_values:
+                        recorder.bucket_values(outs, out_val)
                 V[outs] = out_val
                 M[outs] = out_may
                 in_trans = [T[pins[j]] for j in range(pins.shape[0])]
@@ -773,6 +780,8 @@ class CompiledCircuit:
                     )
                 else:
                     recorder.cell(compiled.position, net, out_may, aux)
+                    if record_values:
+                        recorder.net_values(net, out_val)
                 V[net] = out_val
                 M[net] = out_may
                 out_trans = logic.transition_vector(
@@ -887,6 +896,9 @@ class CompiledCircuit:
         false_b = np.zeros(n, dtype=bool)
         inertial = self.mode == "inertial"
         lo = 1 if drop_first else 0
+        record_values = recorder is not None and getattr(
+            recorder, "wants_values", False
+        )
         if recorder is not None:
             recorder.begin(start_index + lo, lo)
 
@@ -937,6 +949,8 @@ class CompiledCircuit:
                 final_values[net] = cur[-1]
                 if recorder is not None:
                     recorder.net_may(net, flags)
+                    if record_values:
+                        recorder.net_values(net, cur)
                 if collect_net_stats:
                     sig_sum[net] = cur.sum()
                     tog_sum[net] = flags.sum()
@@ -971,6 +985,8 @@ class CompiledCircuit:
                 # arrival rules consume; arrivals are replayed later for
                 # arbitrarily many delay vectors.
                 recorder.cell(compiled.position, net, out_may, aux)
+                if record_values:
+                    recorder.net_values(net, out_val)
             values[net] = out_val
             mays[net] = out_may
             final_values[net] = out_val[-1]

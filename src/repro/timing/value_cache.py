@@ -131,6 +131,15 @@ def plane_cache_key(
                 "initial": sorted((initial or {}).items()),
                 "net_stats": bool(collect_net_stats),
                 "hooks": hooks or "",
+                # Patched circuits (repro.timing.delta.patch_compiled)
+                # share the child's structural fingerprint with a
+                # from-scratch compile, but their plans were derived
+                # through a delta chain; the lineage keeps a patched
+                # plan's plane from ever colliding with its parent's
+                # (or an unrelated chain's) cached entry.
+                "lineage": list(
+                    getattr(circuit, "delta_lineage", ())
+                ),
             },
             sort_keys=True,
         ).encode()

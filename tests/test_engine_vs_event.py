@@ -14,7 +14,9 @@ from repro.arith import (
     column_bypass_multiplier,
     row_bypass_multiplier,
 )
-from repro.timing import CompiledCircuit, EventSimulator
+from repro.experiments.sweep import RETYPE_SWAPS
+from repro.nets import Mutation, apply_mutations
+from repro.timing import CompiledCircuit, EventSimulator, patch_compiled
 from repro.workloads import uniform_operands
 
 WIDTH = 5
@@ -76,6 +78,39 @@ def test_inertial_below_floating(design, stimulus):
     floating = design["floating"].run({"md": md, "mr": mr})
     inertial = design["inertial"].run({"md": md, "mr": mr})
     assert np.all(inertial.delays <= floating.delays + 1e-9)
+
+
+def test_patched_plan_agrees_with_event_sim(design, stimulus):
+    """A patched plan (repro.timing.delta) is a first-class engine:
+    running a mutated netlist through ``patch_compiled`` must satisfy
+    the same event-simulator cross-validation as a from-scratch
+    compile -- identical settled values, floating arrivals bounding the
+    event settle time."""
+    netlist = design["netlist"]
+    index = next(
+        cell.index
+        for cell in netlist.cells
+        if cell.group is None and cell.cell_type.name in RETYPE_SWAPS
+    )
+    swap = RETYPE_SWAPS[netlist.cells[index].cell_type.name]
+    child = apply_mutations(netlist, [Mutation(index, swap)])
+    patched = patch_compiled(design["floating"], child)
+    event = EventSimulator(child)
+
+    md, mr = stimulus
+    stream = patched.run({"md": md, "mr": mr})
+    scratch = CompiledCircuit(child, mode="floating").run(
+        {"md": md, "mr": mr}
+    )
+    assert np.array_equal(stream.outputs["p"], scratch.outputs["p"])
+    assert np.array_equal(stream.delays, scratch.delays)
+    for k in range(1, NUM_PAIRS + 1):
+        pair = event.run_pair(
+            {"md": int(md[k - 1]), "mr": int(mr[k - 1])},
+            {"md": int(md[k]), "mr": int(mr[k])},
+        )
+        assert pair.outputs["p"] == int(stream.outputs["p"][k]), k
+        assert pair.settle_time <= stream.delays[k] + 1e-9, k
 
 
 def test_event_per_bit_times_bounded_by_floating(design, stimulus):
